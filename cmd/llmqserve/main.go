@@ -1,0 +1,40 @@
+// Command llmqserve runs the reordering optimizer as an HTTP service.
+//
+//	llmqserve -addr :8080
+//
+// Endpoints (JSON over POST):
+//
+//	/v1/reorder   {table:{columns,rows,fds}, algorithm?} -> schedule + PHC
+//	/v1/estimate  {provider, hitOriginal, hitGGR}        -> cost savings
+//	/v1/simulate  {table, prompt, policy?}               -> serving metrics
+//	/healthz      (GET)
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/estimate -d \
+//	  '{"provider":"openai","hitOriginal":0.11,"hitGGR":0.67}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+	}
+	log.Printf("llmqserve listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

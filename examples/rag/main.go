@@ -1,0 +1,52 @@
+// RAG runs the FEVER-style retrieval pipeline: embed a corpus, retrieve
+// top-k evidence per claim, and compare request orderings for the resulting
+// (claim, evidence1..4) table — the paper's T5 query type.
+//
+//	go run ./examples/rag
+package main
+
+import (
+	"fmt"
+	"log"
+
+	llmq "repro"
+)
+
+func main() {
+	// The library bundles a FEVER-shaped generator: claims grouped by topic
+	// over a passage corpus, so different claims retrieve overlapping
+	// evidence sets. Scale 0.02 keeps this demo quick (~400 claims).
+	tbl, err := llmq.RAGDataset("FEVER", 0.02, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retrieval-joined table: %d claims x %d fields (claim + 4 evidence passages)\n\n",
+		tbl.NumRows(), tbl.NumCols())
+
+	spec, err := llmq.QueryByName("fever-rag")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s %12s %10s\n", "policy", "JCT (s)", "hit rate")
+	var answers []string
+	for _, p := range []llmq.Policy{llmq.PolicyNoCache, llmq.PolicyCacheOriginal, llmq.PolicyCacheGGR} {
+		res, err := llmq.RunQuery(spec, tbl, llmq.QueryConfig{Policy: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %12.1f %9.0f%%\n", string(p), res.JCT, 100*res.HitRate)
+		answers = res.Outputs
+	}
+
+	counts := map[string]int{}
+	for _, a := range answers {
+		counts[a]++
+	}
+	fmt.Printf("\nverdicts: SUPPORTS=%d REFUTES=%d NOT ENOUGH INFO=%d\n",
+		counts["SUPPORTS"], counts["REFUTES"], counts["NOT ENOUGH INFO"])
+	fmt.Println("\nClaims about the same topic retrieve overlapping evidence;")
+	fmt.Println("GGR aligns the shared passages into common prefixes (and rows")
+	fmt.Println("by shared leading evidence), which is where the hit-rate gain")
+	fmt.Println("over the original retrieval order comes from.")
+}

@@ -1,0 +1,49 @@
+// SQL runs the paper's Appendix A queries verbatim through the LLM-SQL
+// front end, showing that the reordering optimization is transparent to the
+// SQL user: same results, different serving cost.
+//
+//	go run ./examples/sql
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/internal/query"
+	"repro/internal/sqlfront"
+)
+
+func main() {
+	movies := datagen.Movies(datagen.Options{Scale: 0.01, Seed: 4})
+	db := sqlfront.NewDB()
+	db.Register("MOVIES", movies.Table)
+
+	queries := []struct{ title, sql string }{
+		{"LLM filter (T1)", `
+SELECT movietitle FROM MOVIES
+WHERE LLM('Given the following fields, determine whether the movie is suitable for kids. Answer ONLY with "Yes" or "No".',
+          movieinfo, reviewcontent, reviewtype, movietitle) = 'Yes'`},
+		{"LLM projection (T2)", `
+SELECT LLM('Given the following information, summarize good qualities in this movie that led to a favorable rating.',
+           reviewcontent, movieinfo) FROM MOVIES`},
+		{"LLM aggregation (T4)", `
+SELECT AVG(LLM('Rate sentiment in numerical values from 1 (bad) to 5 (good).', reviewcontent, movieinfo)) AS AverageScore
+FROM MOVIES`},
+	}
+
+	for _, q := range queries {
+		fmt.Printf("=== %s ===\n", q.title)
+		for _, p := range []query.Policy{query.CacheOriginal, query.CacheGGR} {
+			res, err := db.Exec(q.sql, sqlfront.ExecConfig{Config: query.Config{Policy: p}})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-16s rows=%-5d serving=%7.1fs  hit rate=%5.1f%%  solver=%.3fs\n",
+				p, len(res.Rows), res.JCT, 100*res.HitRate, res.SolverSeconds)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Identical result relations under every policy; only the serving")
+	fmt.Println("cost changes — the optimization never alters query semantics.")
+}

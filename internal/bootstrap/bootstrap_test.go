@@ -1,0 +1,86 @@
+package bootstrap
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeansCentersOnSampleMean(t *testing.T) {
+	vals := []float64{0, 1, 1, 1} // mean 0.75
+	res, err := Means(vals, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mean-0.75) > 0.02 {
+		t.Errorf("bootstrap mean %.3f, sample mean 0.75", res.Mean)
+	}
+	if math.Abs(res.Median-0.75) > 0.05 {
+		t.Errorf("median %.3f", res.Median)
+	}
+	if !(res.P5 <= res.Median && res.Median <= res.P95) {
+		t.Errorf("percentiles out of order: %+v", res)
+	}
+}
+
+func TestConstantValuesHaveZeroWidth(t *testing.T) {
+	res, err := Means([]float64{0.5, 0.5, 0.5}, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P5 != 0.5 || res.P95 != 0.5 {
+		t.Errorf("constant input produced interval [%f, %f]", res.P5, res.P95)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	a, _ := Means(vals, 500, 42)
+	b, _ := Means(vals, 500, 42)
+	if a != b {
+		t.Error("same seed, different result")
+	}
+	c, _ := Means(vals, 500, 43)
+	if a == c {
+		t.Error("different seeds produced identical distributions")
+	}
+}
+
+func TestIntervalWidthShrinksWithN(t *testing.T) {
+	small := make([]float64, 20)
+	large := make([]float64, 2000)
+	for i := range small {
+		small[i] = float64(i % 2)
+	}
+	for i := range large {
+		large[i] = float64(i % 2)
+	}
+	rs, _ := Means(small, 2000, 7)
+	rl, _ := Means(large, 2000, 7)
+	if (rl.P95 - rl.P5) >= (rs.P95 - rs.P5) {
+		t.Errorf("CI width did not shrink: small %f, large %f",
+			rs.P95-rs.P5, rl.P95-rl.P5)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	correct := make([]bool, 100)
+	for i := 0; i < 80; i++ {
+		correct[i] = true
+	}
+	res, err := Accuracy(correct, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Median-0.8) > 0.05 {
+		t.Errorf("accuracy median %.3f, want ≈ 0.8", res.Median)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Means(nil, 10, 1); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := Means([]float64{1}, 0, 1); err == nil {
+		t.Error("zero reps accepted")
+	}
+}

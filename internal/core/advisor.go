@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/table"
+)
+
+// Advice is the advisor's verdict on whether reordering a table is worth the
+// solver overhead before any LLM call is made.
+type Advice struct {
+	// Reorder is the recommendation.
+	Reorder bool
+	// ExpectedGain estimates the fraction of data tokens that reordering can
+	// newly turn into prefix hits (0..1).
+	ExpectedGain float64
+	// RepeatedTokenShare is the fraction of the table's data tokens living
+	// in repeated values — the raw material reordering works with.
+	RepeatedTokenShare float64
+	// Reason is a one-line human-readable justification.
+	Reason string
+}
+
+// Advise performs the paper's Sec. 6.5 overhead reasoning from statistics
+// alone, without running a solver: reordering pays when a meaningful share
+// of the table's tokens sits in repeated values (so grouping can convert
+// them to cache hits) that the current layout does not already exploit.
+// The scan is one statistics pass — the same cost a database catalog lookup
+// would replace.
+//
+// sampleRows bounds the statistics scan (0 = whole table); the decision uses
+// only per-column aggregates so a few thousand rows suffice.
+func Advise(t *table.Table, lenOf table.LenFunc, sampleRows int) Advice {
+	if lenOf == nil {
+		lenOf = table.CharLen
+	}
+	scan := t
+	if sampleRows > 0 && sampleRows < t.NumRows() {
+		scan = t.Head(sampleRows)
+	}
+	if scan.NumRows() < 2 || scan.NumCols() == 0 {
+		return Advice{Reason: "fewer than two rows: nothing to share"}
+	}
+	stats := table.ComputeStats(scan, lenOf)
+
+	// Token mass per column, split into repeated vs unique values.
+	var totalMass, repeatedMass float64
+	for _, cs := range stats.Cols {
+		mass := cs.AvgLen * float64(cs.Rows)
+		totalMass += mass
+		if cs.Rows > 0 {
+			repeatFrac := 1 - float64(cs.Distinct)/float64(cs.Rows)
+			repeatedMass += mass * repeatFrac
+		}
+	}
+	if totalMass == 0 {
+		return Advice{Reason: "empty cells: nothing to share"}
+	}
+	repeatedShare := repeatedMass / totalMass
+
+	// How much of that repetition the existing layout already captures:
+	// adjacent-row sharing of the original schedule over the sample.
+	existing := Hits(Original(scan), lenOf).Rate()
+
+	gain := repeatedShare - existing
+	if gain < 0 {
+		gain = 0
+	}
+	// Threshold: the solver costs seconds (Table 5) while queries cost
+	// thousands of serving seconds, so even a 5% token gain pays for itself;
+	// below that the layout is either repetition-free or already grouped.
+	const worthIt = 0.05
+	adv := Advice{
+		ExpectedGain:       gain,
+		RepeatedTokenShare: repeatedShare,
+	}
+	switch {
+	case repeatedShare < worthIt:
+		adv.Reason = "almost all token mass is unique; caching cannot help"
+	case gain < worthIt:
+		adv.Reorder = false
+		adv.Reason = "layout already captures the repetition (grouped input)"
+	default:
+		adv.Reorder = true
+		adv.Reason = "significant repeated token mass not exploited by the current layout"
+	}
+	return adv
+}

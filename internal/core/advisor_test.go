@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestAdviseRecommendsOnScatteredRepetition(t *testing.T) {
+	// Entity descriptions repeated but scattered: classic reorder win.
+	tb := table.New("unique", "entity")
+	for i := 0; i < 40; i++ {
+		tb.MustAppendRow(
+			fmt.Sprintf("unique-value-%02d", i),
+			fmt.Sprintf("shared-entity-description-%d", i%3),
+		)
+	}
+	adv := Advise(tb, table.CharLen, 0)
+	if !adv.Reorder {
+		t.Fatalf("advisor declined an obvious win: %+v", adv)
+	}
+	if adv.RepeatedTokenShare < 0.3 {
+		t.Errorf("repeated share = %.2f", adv.RepeatedTokenShare)
+	}
+	if adv.ExpectedGain <= 0.05 {
+		t.Errorf("expected gain = %.2f", adv.ExpectedGain)
+	}
+}
+
+func TestAdviseDeclinesUniqueTable(t *testing.T) {
+	tb := table.New("a", "b")
+	for i := 0; i < 30; i++ {
+		tb.MustAppendRow(fmt.Sprintf("aa-%d", i*7), fmt.Sprintf("bb-%d", i*13))
+	}
+	adv := Advise(tb, table.CharLen, 0)
+	if adv.Reorder {
+		t.Fatalf("advisor recommended reordering an all-unique table: %+v", adv)
+	}
+	if adv.RepeatedTokenShare > 0.05 {
+		t.Errorf("repeated share = %.2f on unique data", adv.RepeatedTokenShare)
+	}
+}
+
+func TestAdviseDeclinesAlreadyGrouped(t *testing.T) {
+	// Same repetition as the win case but pre-sorted: the original layout
+	// already captures it, so the solver adds nothing.
+	tb := table.New("entity", "unique")
+	for g := 0; g < 3; g++ {
+		for i := 0; i < 12; i++ {
+			tb.MustAppendRow(
+				fmt.Sprintf("shared-entity-description-%d", g),
+				fmt.Sprintf("unique-value-%d-%d", g, i),
+			)
+		}
+	}
+	adv := Advise(tb, table.CharLen, 0)
+	if adv.Reorder {
+		t.Fatalf("advisor recommended reordering a pre-grouped table: %+v", adv)
+	}
+	if adv.RepeatedTokenShare < 0.3 {
+		t.Errorf("repeated share = %.2f", adv.RepeatedTokenShare)
+	}
+}
+
+func TestAdviseDegenerateInputs(t *testing.T) {
+	empty := table.New("a")
+	if adv := Advise(empty, table.CharLen, 0); adv.Reorder {
+		t.Error("empty table recommended")
+	}
+	one := table.New("a")
+	one.MustAppendRow("x")
+	if adv := Advise(one, table.CharLen, 0); adv.Reorder {
+		t.Error("single row recommended")
+	}
+	blank := table.New("a")
+	blank.MustAppendRow("")
+	blank.MustAppendRow("")
+	if adv := Advise(blank, table.CharLen, 0); adv.Reorder {
+		t.Error("all-empty cells recommended")
+	}
+	if adv := Advise(blank, nil, 0); adv.Reorder {
+		t.Error("nil LenFunc mishandled")
+	}
+}
+
+func TestAdviseSampling(t *testing.T) {
+	tb := table.New("unique", "entity")
+	for i := 0; i < 500; i++ {
+		tb.MustAppendRow(
+			fmt.Sprintf("unique-%04d", i),
+			fmt.Sprintf("entity-group-value-%d", i%4),
+		)
+	}
+	full := Advise(tb, table.CharLen, 0)
+	sampled := Advise(tb, table.CharLen, 100)
+	if full.Reorder != sampled.Reorder {
+		t.Errorf("sampling flipped the verdict: full %+v vs sampled %+v", full, sampled)
+	}
+	if d := full.RepeatedTokenShare - sampled.RepeatedTokenShare; d > 0.1 || d < -0.1 {
+		t.Errorf("sampled share drifted: %.2f vs %.2f", sampled.RepeatedTokenShare, full.RepeatedTokenShare)
+	}
+}
+
+func TestAdviseAgreesWithSolverOnBenchmarkShape(t *testing.T) {
+	// On an entity table where the advisor says yes, GGR must deliver at
+	// least the predicted share of the promised gain.
+	tb := table.New("payload", "entity")
+	for i := 0; i < 60; i++ {
+		tb.MustAppendRow(
+			fmt.Sprintf("row-payload-%02d-%d", i, i*31),
+			fmt.Sprintf("a-long-shared-entity-block-%d", i%5),
+		)
+	}
+	adv := Advise(tb, table.CharLen, 0)
+	if !adv.Reorder {
+		t.Fatalf("advisor declined: %+v", adv)
+	}
+	res := GGR(tb, GGROptions{LenOf: table.CharLen})
+	achieved := Hits(res.Schedule, table.CharLen).Rate()
+	if achieved < adv.ExpectedGain/2 {
+		t.Errorf("solver delivered %.2f, advisor promised %.2f", achieved, adv.ExpectedGain)
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func benchTable(rows, entities int) *table.Table {
+	r := rand.New(rand.NewSource(17))
+	return entityTable(r, rows, entities)
+}
+
+func BenchmarkGGRDefault(b *testing.B) {
+	tb := benchTable(2000, 100)
+	opt := DefaultGGROptions(table.CharLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GGR(tb, opt)
+	}
+}
+
+func BenchmarkGGRExhaustive(b *testing.B) {
+	tb := benchTable(300, 30)
+	opt := ExhaustiveGGROptions(table.CharLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GGR(tb, opt)
+	}
+}
+
+func BenchmarkGGRWindowed(b *testing.B) {
+	tb := benchTable(2000, 100)
+	opt := DefaultGGROptions(table.CharLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GGRWindowed(tb, opt, 256)
+	}
+}
+
+func BenchmarkOPHRSmall(b *testing.B) {
+	r := rand.New(rand.NewSource(19))
+	tb := randomTable(r, 8, 3, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OPHR(tb, OPHROptions{LenOf: table.CharLen}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPHC(b *testing.B) {
+	tb := benchTable(2000, 100)
+	s := Original(tb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PHC(s, table.CharLen)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	tb := benchTable(2000, 100)
+	s := GGR(tb, DefaultGGROptions(table.CharLen)).Schedule
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(tb, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

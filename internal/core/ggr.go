@@ -1,0 +1,452 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/table"
+)
+
+// GGROptions configures Greedy Group Recursion (Sec. 4.2).
+type GGROptions struct {
+	// LenOf measures cell values; defaults to table.CharLen.
+	LenOf table.LenFunc
+	// UseFDs enables functional-dependency inference (Sec. 4.2.1). When a
+	// group value is selected in field c, every field in c's FD equivalence
+	// class is pulled into the prefix alongside c and removed from the
+	// recursion.
+	UseFDs bool
+	// MaxRowDepth bounds the row-wise recursion (splitting off a group's
+	// complement); MaxColDepth bounds the column-wise recursion (descending
+	// into a group with the matched columns removed). Depth 0 disables the
+	// bound. The paper's evaluation uses row depth 4 and column depth 2
+	// (Sec. 6.5).
+	MaxRowDepth int
+	MaxColDepth int
+	// MinHitCount stops recursion when the best group's HITCOUNT falls below
+	// this threshold (the paper's 0.1M early-stopping threshold). Recursion
+	// always stops when no group has a positive hit count.
+	MinHitCount int64
+	// Stats, when non-nil, replaces per-subtable statistics scans in the
+	// fallback ordering with precomputed whole-table statistics, mirroring
+	// how a database would use catalog stats instead of rescanning.
+	Stats *table.Stats
+}
+
+// DefaultGGROptions returns the configuration used in the paper's end-to-end
+// evaluation (Sec. 6.5): row depth 4, column depth 2, 0.1M hit-count
+// threshold, FDs on.
+func DefaultGGROptions(lenOf table.LenFunc) GGROptions {
+	return GGROptions{
+		LenOf:       lenOf,
+		UseFDs:      true,
+		MaxRowDepth: 4,
+		MaxColDepth: 2,
+		MinHitCount: 100_000,
+	}
+}
+
+// ExhaustiveGGROptions disables early stopping so the greedy recursion runs
+// to the base cases. Used for small tables and for comparing against OPHR.
+func ExhaustiveGGROptions(lenOf table.LenFunc) GGROptions {
+	return GGROptions{LenOf: lenOf, UseFDs: true}
+}
+
+// Result is the output of a reordering solver.
+type Result struct {
+	// Schedule is the reordered list of tuples.
+	Schedule *Schedule
+	// Estimate is the solver's own PHC accounting (S in Algorithm 1). For
+	// GGR with exact FDs this equals PHC; with approximate FDs it may
+	// overestimate.
+	Estimate int64
+	// PHC is the exact prefix hit count of Schedule under Eq. 1–2.
+	PHC int64
+}
+
+// GGR runs Greedy Group Recursion (Algorithm 1) over t and returns the
+// reordered schedule. Functional dependencies are taken from t.FDs().
+//
+// Two places deviate deliberately from the paper's pseudocode, both
+// documented here because Algorithm 1 as printed contains evident typos:
+//
+//  1. Line 29 prefixes the selected value onto L_A (the complement's rows)
+//     while indexing over |R_v|; the intent, per Fig. 2 and the surrounding
+//     prose, is to prefix the matched group's cells onto L_B (the group's
+//     rows, which had those columns removed) and then append the complement.
+//  2. Line 6 sums plain lengths of FD-inferred columns while the objective
+//     (Eq. 2) is quadratic; we square the inferred lengths so the greedy
+//     score estimates actual PHC contribution. With exact FDs the group's
+//     inferred values are constant and the estimate is exact.
+func GGR(t *table.Table, opt GGROptions) *Result {
+	if opt.LenOf == nil {
+		opt.LenOf = table.CharLen
+	}
+	s := &ggrSolver{t: t, opt: opt, lens: newLens(opt.LenOf)}
+	if opt.UseFDs {
+		s.fds = t.FDs()
+	} else {
+		s.fds = table.NewFDSet()
+	}
+	est, rows := s.rec(fullView(t), 0, 0)
+	sched := &Schedule{Rows: rows}
+	res := &Result{Schedule: sched, Estimate: est, PHC: PHC(sched, s.lens.fn())}
+
+	// Safeguard: the recursion's greedy splits can occasionally lose to the
+	// plain statistics ordering (value groups chosen early may scatter
+	// correlations the fixed order would have kept together). The fallback is
+	// one cheap extra pass, so never return a schedule worse than it.
+	if t.NumRows() > 1 && t.NumCols() > 1 {
+		fbPHC, fbRows := s.fallback(fullView(t))
+		if fbPHC > res.PHC {
+			fb := &Schedule{Rows: fbRows}
+			res = &Result{Schedule: fb, Estimate: fbPHC, PHC: PHC(fb, s.lens.fn())}
+		}
+	}
+	return res
+}
+
+type ggrSolver struct {
+	t    *table.Table
+	opt  GGROptions
+	lens *lens
+	fds  *table.FDSet
+}
+
+// rec is the recursive case of Algorithm 1 over a sub-table view.
+// rowDepth counts row-wise splits (the complement branch), colDepth counts
+// column-wise splits (the group branch).
+func (g *ggrSolver) rec(v view, rowDepth, colDepth int) (int64, []Row) {
+	switch {
+	case len(v.rows) == 0:
+		return 0, nil
+	case len(v.cols) == 0:
+		// All columns consumed by prefixes up the stack: rows are empty
+		// tuples here; their hits were accounted by the parent.
+		out := make([]Row, len(v.rows))
+		for i, src := range v.rows {
+			out[i] = Row{Source: src}
+		}
+		return 0, out
+	case len(v.rows) == 1:
+		pos := identityPositions(len(v.cols))
+		return 0, emitFixed(v, pos)
+	case len(v.cols) == 1:
+		return g.singleColumn(v)
+	}
+	if g.stopped(rowDepth, colDepth) {
+		return g.fallback(v)
+	}
+
+	bestHC, bestCol, bestVal, bestCols := int64(-1), -1, "", []int(nil)
+	for ci := range v.cols {
+		hcByValue, colSet := g.hitCounts(v, ci)
+		for _, cand := range hcByValue {
+			if cand.hc > bestHC {
+				bestHC, bestCol, bestVal, bestCols = cand.hc, ci, cand.value, colSet
+			}
+		}
+	}
+	if bestHC <= 0 || bestHC < g.opt.MinHitCount {
+		return g.fallback(v)
+	}
+
+	// Split rows into the matched group R_v and its complement.
+	baseCol := v.cols[bestCol]
+	var group, rest []int
+	for _, r := range v.rows {
+		if g.t.Cell(r, baseCol) == bestVal {
+			group = append(group, r)
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	// Column set for the group branch: active columns minus the matched
+	// column and its FD-inferred columns.
+	drop := make(map[int]bool, len(bestCols))
+	for _, p := range bestCols {
+		drop[v.cols[p]] = true
+	}
+	var groupCols []int
+	for _, c := range v.cols {
+		if !drop[c] {
+			groupCols = append(groupCols, c)
+		}
+	}
+
+	restS, restRows := g.rec(view{t: g.t, rows: rest, cols: v.cols}, rowDepth+1, colDepth)
+	grpS, grpRows := g.rec(view{t: g.t, rows: group, cols: groupCols}, rowDepth, colDepth+1)
+
+	// Prefix the matched cells (the chosen column first, then its inferred
+	// columns in active order) onto every group row, then append the
+	// complement's schedule.
+	prefixCols := make([]int, len(bestCols))
+	prefixNames := make([]string, len(bestCols))
+	for i, p := range bestCols {
+		prefixCols[i] = v.cols[p]
+		prefixNames[i] = g.t.Columns()[v.cols[p]]
+	}
+	out := make([]Row, 0, len(v.rows))
+	for _, r := range grpRows {
+		cells := make([]Cell, 0, len(prefixCols)+len(r.Cells))
+		for i, c := range prefixCols {
+			cells = append(cells, Cell{Field: prefixNames[i], Value: g.t.Cell(r.Source, c)})
+		}
+		cells = append(cells, r.Cells...)
+		out = append(out, Row{Source: r.Source, Cells: cells})
+	}
+	out = append(out, restRows...)
+	return restS + grpS + bestHC, out
+}
+
+// stopped reports whether early stopping applies at this depth.
+func (g *ggrSolver) stopped(rowDepth, colDepth int) bool {
+	if g.opt.MaxRowDepth > 0 && rowDepth >= g.opt.MaxRowDepth {
+		return true
+	}
+	if g.opt.MaxColDepth > 0 && colDepth >= g.opt.MaxColDepth {
+		return true
+	}
+	return false
+}
+
+type hcCandidate struct {
+	value string
+	hc    int64
+}
+
+// hitCounts implements HITCOUNT (Algorithm 1 lines 3–8) for every distinct
+// value of the view column at position ci, sharing the per-column scan. It
+// returns the candidates in first-appearance order plus the prefix column
+// positions ([c] + inferred, as positions into v.cols).
+func (g *ggrSolver) hitCounts(v view, ci int) ([]hcCandidate, []int) {
+	baseCol := v.cols[ci]
+	colName := g.t.Columns()[baseCol]
+
+	// Resolve FD-inferred columns to view positions (only active ones).
+	colSet := []int{ci}
+	if inferred := g.fds.Inferred(colName); len(inferred) > 0 {
+		namePos := make(map[string]int, len(v.cols))
+		for p, c := range v.cols {
+			namePos[g.t.Columns()[c]] = p
+		}
+		for _, name := range inferred {
+			if p, ok := namePos[name]; ok {
+				colSet = append(colSet, p)
+			}
+		}
+	}
+
+	type agg struct {
+		count    int64
+		infSqSum int64 // sum over rows in the group of Σ_{c'} len(c')²
+	}
+	groups := make(map[string]*agg)
+	var order []string
+	for _, r := range v.rows {
+		val := g.t.Cell(r, baseCol)
+		a, ok := groups[val]
+		if !ok {
+			a = &agg{}
+			groups[val] = a
+			order = append(order, val)
+		}
+		a.count++
+		for _, p := range colSet[1:] {
+			a.infSqSum += g.lens.sq(g.t.Cell(r, v.cols[p]))
+		}
+	}
+	out := make([]hcCandidate, 0, len(order))
+	for _, val := range order {
+		a := groups[val]
+		totLen := g.lens.sq(val)
+		if a.count > 0 {
+			totLen += a.infSqSum / a.count // average inferred contribution
+		}
+		out = append(out, hcCandidate{value: val, hc: totLen * (a.count - 1)})
+	}
+	return out, colSet
+}
+
+// singleColumn is the one-field base case: group identical values by sorting
+// and sum len(v)² × (count−1) per distinct value.
+func (g *ggrSolver) singleColumn(v view) (int64, []Row) {
+	rows := append([]int(nil), v.rows...)
+	sortRowsByCols(g.t, rows, []int{v.cols[0]})
+	var s int64
+	counts := make(map[string]int64)
+	for _, r := range rows {
+		counts[g.t.Cell(r, v.cols[0])]++
+	}
+	for val, c := range counts {
+		s += g.lens.sq(val) * (c - 1)
+	}
+	sorted := view{t: g.t, rows: rows, cols: v.cols}
+	return s, emitFixed(sorted, []int{0})
+}
+
+// fallback is the table-statistics path (Sec. 4.2.2): choose a fixed field
+// order for the sub-table, sort rows lexicographically under it, and report
+// the exact PHC of the resulting block.
+//
+// When catalog statistics are supplied (opt.Stats) the paper's score
+// ordering (avg(len)² weighted by repetition) is used without scanning.
+// Otherwise the solver runs a chain-aware greedy: because a prefix hit
+// requires ALL earlier fields to match (Eq. 2), field f's value is only
+// reachable with the probability that the sorted prefix tuple still matches,
+// so each position is filled by the field maximizing
+//
+//	avg(len²) × survival,  survival = 1 − (distinct prefix∘f tuples)/rows.
+//
+// This keeps entity-correlated fields together ahead of per-row noise (the
+// failure mode of the static score on wide tables like PDMX) at O(m·k·n)
+// for the k ≲ m positions until the chain dies.
+func (g *ggrSolver) fallback(v view) (int64, []Row) {
+	var pos []int
+	if g.opt.Stats != nil {
+		pos = g.scoreOrder(v)
+	} else {
+		pos = g.chainOrder(v)
+	}
+	rows := append([]int(nil), v.rows...)
+	baseCols := make([]int, len(pos))
+	for i, p := range pos {
+		baseCols[i] = v.cols[p]
+	}
+	sortRowsByCols(g.t, rows, baseCols)
+	out := emitFixed(view{t: g.t, rows: rows, cols: v.cols}, pos)
+	return phcOfRows(out, g.lens), out
+}
+
+// scoreOrder ranks the view's columns by the catalog-statistics score.
+func (g *ggrSolver) scoreOrder(v view) []int {
+	names := make([]string, len(v.cols))
+	for i, c := range v.cols {
+		names[i] = g.t.Columns()[c]
+	}
+	ordered := g.opt.Stats.OrderByScore(names)
+	namePos := make(map[string]int, len(names))
+	for p, n := range names {
+		namePos[n] = p
+	}
+	pos := make([]int, len(ordered))
+	for i, n := range ordered {
+		pos[i] = namePos[n]
+	}
+	return pos
+}
+
+// chainOrder computes the chain-aware greedy field order (positions into
+// v.cols). Once the expected chain survival drops below deadChain the
+// remaining fields are unreachable, so they are appended by descending
+// average squared length (longest values first, harmless either way).
+func (g *ggrSolver) chainOrder(v view) []int {
+	const deadChain = 0.02
+	n := len(v.rows)
+	if n == 0 {
+		return identityPositions(len(v.cols))
+	}
+	// Mean squared length per candidate column.
+	avgSq := make([]float64, len(v.cols))
+	for p, c := range v.cols {
+		var sum float64
+		for _, r := range v.rows {
+			sum += float64(g.lens.sq(g.t.Cell(r, c)))
+		}
+		avgSq[p] = sum / float64(n)
+	}
+
+	groupID := make([]int32, n) // prefix-tuple group per row; all start equal
+	remaining := make([]int, len(v.cols))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var order []int
+	groups := 1
+	type key struct {
+		g int32
+		v string
+	}
+	for len(remaining) > 0 {
+		alive := float64(n - groups) // rows still matching their predecessor
+		if alive/float64(n) < deadChain {
+			break // chain effectively dead: order the tail statically
+		}
+		bestIdx, bestGain, bestPairs := -1, -1.0, 0
+		for idx, p := range remaining {
+			seen := make(map[key]int32, groups*2)
+			for ri, r := range v.rows {
+				k := key{g: groupID[ri], v: g.t.Cell(r, v.cols[p])}
+				if _, ok := seen[k]; !ok {
+					seen[k] = int32(len(seen))
+				}
+			}
+			pairs := len(seen)
+			// Conditional survival: of the pairs still alive, the fraction
+			// this field would not break. The odds weighting implements the
+			// pairwise-exchange optimality criterion (put f before g iff
+			// sq_f·s_f·(1−s_g) > sq_g·s_g·(1−s_f)): fields that would kill
+			// the chain sink below any field that keeps it alive, no matter
+			// how long their values are.
+			s := float64(n-pairs) / alive
+			if s < 0 {
+				s = 0
+			}
+			gain := avgSq[p] * s / (1 - s + 1/float64(n))
+			if gain > bestGain {
+				bestGain, bestIdx, bestPairs = gain, idx, pairs
+			}
+		}
+		if bestIdx < 0 || bestGain <= 0 {
+			break
+		}
+		p := remaining[bestIdx]
+		// Re-derive the refined group ids for the chosen column.
+		seen := make(map[key]int32, bestPairs)
+		for ri, r := range v.rows {
+			k := key{g: groupID[ri], v: g.t.Cell(r, v.cols[p])}
+			id, ok := seen[k]
+			if !ok {
+				id = int32(len(seen))
+				seen[k] = id
+			}
+			groupID[ri] = id
+		}
+		groups = bestPairs
+		order = append(order, p)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	// Tail: statically by descending avg squared length, ties by position.
+	sort.SliceStable(remaining, func(a, b int) bool {
+		return avgSq[remaining[a]] > avgSq[remaining[b]]
+	})
+	return append(order, remaining...)
+}
+
+// subStats computes column statistics restricted to a view.
+func subStats(t *table.Table, v view, l *lens) *table.Stats {
+	sub := table.New(viewColNames(t, v)...)
+	for _, r := range v.rows {
+		cells := make([]string, len(v.cols))
+		for i, c := range v.cols {
+			cells[i] = t.Cell(r, c)
+		}
+		sub.MustAppendRow(cells...)
+	}
+	return table.ComputeStats(sub, l.fn())
+}
+
+func viewColNames(t *table.Table, v view) []string {
+	names := make([]string, len(v.cols))
+	for i, c := range v.cols {
+		names[i] = t.Columns()[c]
+	}
+	return names
+}
+
+func identityPositions(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	return pos
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/table"
+)
+
+// ErrBudget is returned by OPHR when the node budget is exhausted before the
+// search completes. The paper handles the same blow-up with a two-hour
+// wall-clock timeout (Appendix D.1); a deterministic node budget makes the
+// reproduction hermetic.
+var ErrBudget = errors.New("core: OPHR node budget exhausted")
+
+// OPHROptions configures the exact solver.
+type OPHROptions struct {
+	// LenOf measures cell values; defaults to table.CharLen.
+	LenOf table.LenFunc
+	// MaxNodes bounds the number of recursion nodes expanded (0 means the
+	// default of 5 million). OPHR is exponential; the budget turns a hang
+	// into an explicit error.
+	MaxNodes int64
+}
+
+// OPHR runs Optimal Prefix Hit Recursion (Sec. 4.1) and returns the optimal
+// schedule. It considers, at every recursion step, all (field, distinct
+// value) splits of the sub-table and maximizes the sum of the group's
+// contribution and the optimal PHC of both sub-tables. Sub-problems are
+// memoized on their (row set, column set) identity.
+func OPHR(t *table.Table, opt OPHROptions) (*Result, error) {
+	if opt.LenOf == nil {
+		opt.LenOf = table.CharLen
+	}
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 5_000_000
+	}
+	s := &ophrSolver{
+		t:    t,
+		opt:  opt,
+		lens: newLens(opt.LenOf),
+		memo: make(map[string]ophrEntry),
+	}
+	est, rows, err := s.rec(fullView(t))
+	if err != nil {
+		return nil, err
+	}
+	sched := &Schedule{Rows: rows}
+	return &Result{Schedule: sched, Estimate: est, PHC: PHC(sched, s.lens.fn())}, nil
+}
+
+type ophrEntry struct {
+	s    int64
+	rows []Row
+}
+
+type ophrSolver struct {
+	t     *table.Table
+	opt   OPHROptions
+	lens  *lens
+	memo  map[string]ophrEntry
+	nodes int64
+}
+
+// key canonically encodes a view's row and column sets. Views always keep
+// base indices in ascending order (splits preserve order), so no sorting is
+// needed.
+func (o *ophrSolver) key(v view) string {
+	buf := make([]byte, 0, 4*(len(v.rows)+len(v.cols))+2)
+	var tmp [binary.MaxVarintLen32]byte
+	for _, r := range v.rows {
+		n := binary.PutUvarint(tmp[:], uint64(r))
+		buf = append(buf, tmp[:n]...)
+	}
+	buf = append(buf, 0xFF, 0xFE)
+	for _, c := range v.cols {
+		n := binary.PutUvarint(tmp[:], uint64(c))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+func (o *ophrSolver) rec(v view) (int64, []Row, error) {
+	o.nodes++
+	if o.nodes > o.opt.MaxNodes {
+		return 0, nil, fmt.Errorf("%w (budget %d)", ErrBudget, o.opt.MaxNodes)
+	}
+	switch {
+	case len(v.rows) == 0:
+		return 0, nil, nil
+	case len(v.cols) == 0:
+		out := make([]Row, len(v.rows))
+		for i, src := range v.rows {
+			out[i] = Row{Source: src}
+		}
+		return 0, out, nil
+	case len(v.rows) == 1:
+		return 0, emitFixed(v, identityPositions(len(v.cols))), nil
+	case len(v.cols) == 1:
+		s, rows := o.singleColumn(v)
+		return s, rows, nil
+	}
+	k := o.key(v)
+	if e, ok := o.memo[k]; ok {
+		return e.s, e.rows, nil
+	}
+
+	bestS := int64(-1)
+	var bestRows []Row
+	for ci := range v.cols {
+		baseCol := v.cols[ci]
+		// Distinct values of this column in first-appearance order.
+		seen := make(map[string][]int)
+		var order []string
+		for _, r := range v.rows {
+			val := o.t.Cell(r, baseCol)
+			if _, ok := seen[val]; !ok {
+				order = append(order, val)
+			}
+			seen[val] = append(seen[val], r)
+		}
+		if len(order) == len(v.rows) && len(order) > 1 {
+			// Every value distinct: any split contributes 0 and both
+			// sub-problems are strictly smaller versions of the same search.
+			// Splitting on the first value alone is sufficient to preserve
+			// optimality while pruning |rows| symmetric candidates.
+			order = order[:1]
+		}
+		for _, val := range order {
+			group := seen[val]
+			var rest []int
+			if len(group) < len(v.rows) {
+				rest = make([]int, 0, len(v.rows)-len(group))
+				for _, r := range v.rows {
+					if o.t.Cell(r, baseCol) != val {
+						rest = append(rest, r)
+					}
+				}
+			}
+			groupCols := make([]int, 0, len(v.cols)-1)
+			for _, c := range v.cols {
+				if c != baseCol {
+					groupCols = append(groupCols, c)
+				}
+			}
+			contrib := o.lens.sq(val) * int64(len(group)-1)
+
+			restS, restRows, err := o.rec(view{t: o.t, rows: rest, cols: v.cols})
+			if err != nil {
+				return 0, nil, err
+			}
+			grpS, grpRows, err := o.rec(view{t: o.t, rows: group, cols: groupCols})
+			if err != nil {
+				return 0, nil, err
+			}
+			total := restS + grpS + contrib
+			if total > bestS {
+				colName := o.t.Columns()[baseCol]
+				out := make([]Row, 0, len(v.rows))
+				for _, r := range grpRows {
+					cells := make([]Cell, 0, 1+len(r.Cells))
+					cells = append(cells, Cell{Field: colName, Value: val})
+					cells = append(cells, r.Cells...)
+					out = append(out, Row{Source: r.Source, Cells: cells})
+				}
+				out = append(out, restRows...)
+				bestS, bestRows = total, out
+			}
+		}
+	}
+	o.memo[k] = ophrEntry{s: bestS, rows: bestRows}
+	return bestS, bestRows, nil
+}
+
+// singleColumn mirrors the GGR base case: identical values grouped by
+// sorting, PHC = Σ len(v)² × (count−1).
+func (o *ophrSolver) singleColumn(v view) (int64, []Row) {
+	rows := append([]int(nil), v.rows...)
+	sortRowsByCols(o.t, rows, []int{v.cols[0]})
+	var s int64
+	counts := make(map[string]int64)
+	for _, r := range rows {
+		counts[o.t.Cell(r, v.cols[0])]++
+	}
+	for val, c := range counts {
+		s += o.lens.sq(val) * (c - 1)
+	}
+	return s, emitFixed(view{t: o.t, rows: rows, cols: v.cols}, []int{0})
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestOPHRFig1a(t *testing.T) {
+	n, m := 8, 4
+	tb := fig1aTable(n, m)
+	res, err := OPHR(tb, OPHROptions{LenOf: table.UnitLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tb, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64((n - 1) * (m - 1)); res.PHC != want {
+		t.Errorf("OPHR PHC = %d, want %d", res.PHC, want)
+	}
+}
+
+func TestOPHRFig1b(t *testing.T) {
+	x := 4
+	tb := fig1bTable(x)
+	res, err := OPHR(tb, OPHROptions{LenOf: table.UnitLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tb, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(3 * (x - 1)); res.PHC != want {
+		t.Errorf("OPHR PHC = %d, want %d", res.PHC, want)
+	}
+}
+
+func TestOPHRBaseCases(t *testing.T) {
+	empty := table.New("a")
+	res, err := OPHR(empty, OPHROptions{})
+	if err != nil || res.PHC != 0 || len(res.Schedule.Rows) != 0 {
+		t.Errorf("empty: %v %+v", err, res)
+	}
+
+	single := table.New("a", "b")
+	single.MustAppendRow("x", "y")
+	res, err = OPHR(single, OPHROptions{})
+	if err != nil || res.PHC != 0 || len(res.Schedule.Rows) != 1 {
+		t.Errorf("single row: %v %+v", err, res)
+	}
+
+	col := table.New("only")
+	col.MustAppendRow("aa")
+	col.MustAppendRow("bb")
+	col.MustAppendRow("aa")
+	res, err = OPHR(col, OPHROptions{LenOf: table.CharLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PHC != 4 {
+		t.Errorf("single column PHC = %d, want 4", res.PHC)
+	}
+}
+
+func TestOPHRBudgetExhaustion(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tb := randomTable(r, 12, 4, 3)
+	_, err := OPHR(tb, OPHROptions{LenOf: table.CharLen, MaxNodes: 10})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestOPHRDominatesGGR(t *testing.T) {
+	// On random small tables the exact solver's recursion value must be at
+	// least the greedy's (GGR's candidate moves are a subset of OPHR's).
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(8)
+		m := 1 + r.Intn(4)
+		tb := randomTable(r, n, m, 1+r.Intn(3))
+		opt, err := OPHR(tb, OPHROptions{LenOf: table.CharLen})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Verify(tb, opt.Schedule); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		greedy := GGR(tb, GGROptions{LenOf: table.CharLen, UseFDs: false})
+		if opt.Estimate < greedy.Estimate {
+			t.Errorf("trial %d (%dx%d): OPHR estimate %d < GGR estimate %d",
+				trial, n, m, opt.Estimate, greedy.Estimate)
+		}
+		if opt.PHC < opt.Estimate {
+			t.Errorf("trial %d: exact %d below estimate %d", trial, opt.PHC, opt.Estimate)
+		}
+		// The optimal schedule should never lose to the naive ordering.
+		if orig := PHC(Original(tb), table.CharLen); opt.PHC < orig {
+			t.Errorf("trial %d: OPHR %d < original %d", trial, opt.PHC, orig)
+		}
+	}
+}
+
+func TestOPHRMatchesGGRWithPerfectFDs(t *testing.T) {
+	// One field determines all others: the paper notes GGR is optimal here
+	// (Sec. 4.2.3). Build id -> (name, kind) with repeated ids.
+	tb := table.New("id", "name", "kind")
+	rows := []struct{ id, name, kind string }{
+		{"a", "alpha", "k1"}, {"b", "beta", "k2"}, {"a", "alpha", "k1"},
+		{"c", "gamma", "k3"}, {"b", "beta", "k2"}, {"a", "alpha", "k1"},
+	}
+	for _, r := range rows {
+		tb.MustAppendRow(r.id, r.name, r.kind)
+	}
+	fds := table.NewFDSet()
+	fds.AddGroup("id", "name", "kind")
+	if err := tb.SetFDs(fds); err != nil {
+		t.Fatal(err)
+	}
+	if err := fds.Validate(tb); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := OPHR(tb, OPHROptions{LenOf: table.CharLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := GGR(tb, GGROptions{LenOf: table.CharLen, UseFDs: true})
+	if greedy.PHC != opt.PHC {
+		t.Errorf("GGR with covering FDs %d != OPHR %d", greedy.PHC, opt.PHC)
+	}
+}
+
+func TestOPHRDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tb := randomTable(r, 8, 3, 2)
+	a, err := OPHR(tb, OPHROptions{LenOf: table.CharLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OPHR(tb, OPHROptions{LenOf: table.CharLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PHC != b.PHC {
+		t.Fatal("OPHR not deterministic")
+	}
+	for i := range a.Schedule.Rows {
+		if a.Schedule.Rows[i].Source != b.Schedule.Rows[i].Source {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestOPHRPicksLongValueGroups(t *testing.T) {
+	// Two groups of equal size; one has a much longer shared value. The
+	// quadratic objective must favor scheduling around the long value.
+	tb := table.New("short", "long")
+	tb.MustAppendRow("s", "this-is-a-long-shared-value")
+	tb.MustAppendRow("s", "this-is-a-long-shared-value")
+	tb.MustAppendRow("t", "another-long-shared-value!!")
+	tb.MustAppendRow("t", "another-long-shared-value!!")
+	res, err := OPHR(tb, OPHROptions{LenOf: table.CharLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: group by long value (27² per hit) and still match the short
+	// field inside each group (1² per hit): 2 × (729 + 1) = 1460.
+	if res.PHC != 1460 {
+		t.Errorf("PHC = %d, want 1460", res.PHC)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+// tinyTable builds:
+//
+//	id  group  note
+//	1   g      n1
+//	2   g      n2
+//	3   h      n1
+func tinyTable() *table.Table {
+	t := table.New("id", "group", "note")
+	t.MustAppendRow("1", "g", "n1")
+	t.MustAppendRow("2", "g", "n2")
+	t.MustAppendRow("3", "h", "n1")
+	return t
+}
+
+func TestPHCEmptyAndSingle(t *testing.T) {
+	if got := PHC(&Schedule{}, table.CharLen); got != 0 {
+		t.Errorf("empty schedule PHC = %d", got)
+	}
+	s := Original(tinyTable().Head(1))
+	if got := PHC(s, table.CharLen); got != 0 {
+		t.Errorf("single-row PHC = %d", got)
+	}
+}
+
+func TestPHCHandComputed(t *testing.T) {
+	// Rows: (g, n1), (g, n2): first cell matches (len 1 -> 1), second differs.
+	s := &Schedule{Rows: []Row{
+		{Source: 0, Cells: []Cell{{"group", "g"}, {"note", "n1"}}},
+		{Source: 1, Cells: []Cell{{"group", "g"}, {"note", "n2"}}},
+		{Source: 2, Cells: []Cell{{"group", "g"}, {"note", "n2"}}},
+	}}
+	// Row1 vs Row0: "g" matches -> 1². Row2 vs Row1: both match -> 1² + 2².
+	if got := PHC(s, table.CharLen); got != 1+1+4 {
+		t.Errorf("PHC = %d, want 6", got)
+	}
+}
+
+func TestPHCStopsAtFirstMismatch(t *testing.T) {
+	// A later match after a mismatch must not count (prefix semantics).
+	s := &Schedule{Rows: []Row{
+		{Cells: []Cell{{"a", "x"}, {"b", "DIFF1"}, {"c", "same"}}},
+		{Cells: []Cell{{"a", "x"}, {"b", "DIFF2"}, {"c", "same"}}},
+	}}
+	if got := PHC(s, table.CharLen); got != 1 {
+		t.Errorf("PHC = %d, want 1 (only leading x)", got)
+	}
+}
+
+func TestPHCFieldNameMatters(t *testing.T) {
+	// Same value under different field names is not a prefix hit: the JSON
+	// serialization includes the key.
+	s := &Schedule{Rows: []Row{
+		{Cells: []Cell{{"a", "val"}}},
+		{Cells: []Cell{{"b", "val"}}},
+	}}
+	if got := PHC(s, table.CharLen); got != 0 {
+		t.Errorf("cross-field match counted: PHC = %d", got)
+	}
+}
+
+func TestPHCSquaresLengths(t *testing.T) {
+	s := &Schedule{Rows: []Row{
+		{Cells: []Cell{{"a", "12345"}}},
+		{Cells: []Cell{{"a", "12345"}}},
+	}}
+	if got := PHC(s, table.CharLen); got != 25 {
+		t.Errorf("PHC = %d, want 25", got)
+	}
+	if got := PHC(s, table.UnitLen); got != 1 {
+		t.Errorf("unit PHC = %d, want 1", got)
+	}
+}
+
+func TestHitsRate(t *testing.T) {
+	s := &Schedule{Rows: []Row{
+		{Cells: []Cell{{"a", "xx"}, {"b", "yy"}}},
+		{Cells: []Cell{{"a", "xx"}, {"b", "zz"}}},
+	}}
+	h := Hits(s, table.CharLen)
+	if h.Total != 8 {
+		t.Errorf("total = %d, want 8", h.Total)
+	}
+	if h.Matched != 2 {
+		t.Errorf("matched = %d, want 2", h.Matched)
+	}
+	if r := h.Rate(); r != 0.25 {
+		t.Errorf("rate = %v, want 0.25", r)
+	}
+	if (HitStats{}).Rate() != 0 {
+		t.Error("empty rate should be 0")
+	}
+}
+
+func TestOriginalSchedule(t *testing.T) {
+	tb := tinyTable()
+	s := Original(tb)
+	if err := Verify(tb, s); err != nil {
+		t.Fatalf("original schedule fails verify: %v", err)
+	}
+	if s.Rows[0].Cells[0] != (Cell{"id", "1"}) {
+		t.Errorf("row 0 cell 0 = %+v", s.Rows[0].Cells[0])
+	}
+	if s.Rows[2].Cells[2] != (Cell{"note", "n1"}) {
+		t.Errorf("row 2 cell 2 = %+v", s.Rows[2].Cells[2])
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	tb := tinyTable()
+
+	dup := Original(tb)
+	dup.Rows[1].Source = 0
+	if err := Verify(tb, dup); err == nil {
+		t.Error("duplicate source accepted")
+	}
+
+	missingCell := Original(tb)
+	missingCell.Rows[0].Cells = missingCell.Rows[0].Cells[:2]
+	if err := Verify(tb, missingCell); err == nil {
+		t.Error("dropped cell accepted")
+	}
+
+	wrongValue := Original(tb)
+	wrongValue.Rows[0].Cells[1].Value = "tampered"
+	if err := Verify(tb, wrongValue); err == nil {
+		t.Error("tampered value accepted")
+	}
+
+	wrongField := Original(tb)
+	wrongField.Rows[0].Cells[1].Field = "nope"
+	if err := Verify(tb, wrongField); err == nil {
+		t.Error("unknown field accepted")
+	}
+
+	repeated := Original(tb)
+	repeated.Rows[0].Cells[1] = repeated.Rows[0].Cells[0]
+	if err := Verify(tb, repeated); err == nil {
+		t.Error("repeated field accepted")
+	}
+
+	short := Original(tb)
+	short.Rows = short.Rows[:2]
+	if err := Verify(tb, short); err == nil {
+		t.Error("dropped row accepted")
+	}
+
+	oob := Original(tb)
+	oob.Rows[0].Source = 99
+	if err := Verify(tb, oob); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestVerifyAcceptsPermutation(t *testing.T) {
+	tb := tinyTable()
+	s := Original(tb)
+	// Reverse rows and reverse each row's field order: still a valid schedule.
+	for i, j := 0, len(s.Rows)-1; i < j; i, j = i+1, j-1 {
+		s.Rows[i], s.Rows[j] = s.Rows[j], s.Rows[i]
+	}
+	for _, r := range s.Rows {
+		for i, j := 0, len(r.Cells)-1; i < j; i, j = i+1, j-1 {
+			r.Cells[i], r.Cells[j] = r.Cells[j], r.Cells[i]
+		}
+	}
+	if err := Verify(tb, s); err != nil {
+		t.Errorf("permuted schedule rejected: %v", err)
+	}
+}
+
+func TestFixedOrder(t *testing.T) {
+	tb := tinyTable()
+	s, err := FixedOrder(tb, []string{"group", "note", "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(tb, s); err != nil {
+		t.Fatalf("fixed order fails verify: %v", err)
+	}
+	// Rows sorted lexicographically by (group, note, id): g/n1, g/n2, h/n1.
+	if s.Rows[0].Source != 0 || s.Rows[1].Source != 1 || s.Rows[2].Source != 2 {
+		t.Errorf("row order = %d,%d,%d", s.Rows[0].Source, s.Rows[1].Source, s.Rows[2].Source)
+	}
+	if s.Rows[0].Cells[0].Field != "group" {
+		t.Errorf("field order wrong: %+v", s.Rows[0].Cells)
+	}
+
+	if _, err := FixedOrder(tb, []string{"group"}); err == nil {
+		t.Error("short column list accepted")
+	}
+	if _, err := FixedOrder(tb, []string{"group", "note", "zzz"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestBestFixedPutsRepeatedColumnFirst(t *testing.T) {
+	tb := table.New("unique", "shared")
+	tb.MustAppendRow("u1", "common-value")
+	tb.MustAppendRow("u2", "common-value")
+	tb.MustAppendRow("u3", "common-value")
+	s := BestFixed(tb, table.CharLen)
+	if err := Verify(tb, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows[0].Cells[0].Field != "shared" {
+		t.Errorf("BestFixed first field = %q, want shared", s.Rows[0].Cells[0].Field)
+	}
+	// All three rows share "common-value" (len 12): PHC = 2 × 12².
+	if got := PHC(s, table.CharLen); got != 2*144 {
+		t.Errorf("BestFixed PHC = %d, want 288", got)
+	}
+}

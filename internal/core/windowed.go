@@ -1,0 +1,44 @@
+package core
+
+import (
+	"repro/internal/table"
+)
+
+// GGRWindowed runs GGR over consecutive windows of at most window rows and
+// concatenates the per-window schedules. This bounds solver memory and
+// latency for streaming ingestion — the paper's memory argument (Sec. 6.5)
+// notes GGR holds the whole table; windowing trades a little PHC (sharing
+// across window boundaries is lost) for an O(window × m) working set, and is
+// the natural deployment mode when rows arrive in batches.
+//
+// window <= 0 or >= the table size degenerates to plain GGR.
+func GGRWindowed(t *table.Table, opt GGROptions, window int) *Result {
+	if window <= 0 || window >= t.NumRows() {
+		return GGR(t, opt)
+	}
+	if opt.LenOf == nil {
+		opt.LenOf = table.CharLen
+	}
+	l := newLens(opt.LenOf)
+	out := &Schedule{Rows: make([]Row, 0, t.NumRows())}
+	var estimate int64
+	for start := 0; start < t.NumRows(); start += window {
+		end := start + window
+		if end > t.NumRows() {
+			end = t.NumRows()
+		}
+		idx := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		sub := t.FilterRows(idx)
+		res := GGR(sub, opt)
+		// Translate sub-table sources back to base row indices.
+		for _, r := range res.Schedule.Rows {
+			r.Source = idx[r.Source]
+			out.Rows = append(out.Rows, r)
+		}
+		estimate += res.Estimate
+	}
+	return &Result{Schedule: out, Estimate: estimate, PHC: PHC(out, l.fn())}
+}

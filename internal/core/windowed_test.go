@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestGGRWindowedVerifies(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	tb := randomTable(r, 57, 4, 3)
+	for _, w := range []int{1, 7, 10, 57, 100, 0} {
+		res := GGRWindowed(tb, GGROptions{LenOf: table.CharLen}, w)
+		if err := Verify(tb, res.Schedule); err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if got := PHC(res.Schedule, table.CharLen); got != res.PHC {
+			t.Errorf("window %d: reported PHC %d != recomputed %d", w, res.PHC, got)
+		}
+	}
+}
+
+func TestGGRWindowedDegeneratesToGGR(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	tb := randomTable(r, 30, 3, 2)
+	full := GGR(tb, GGROptions{LenOf: table.CharLen})
+	win := GGRWindowed(tb, GGROptions{LenOf: table.CharLen}, 0)
+	if win.PHC != full.PHC {
+		t.Errorf("window 0 PHC %d != plain GGR %d", win.PHC, full.PHC)
+	}
+	winBig := GGRWindowed(tb, GGROptions{LenOf: table.CharLen}, 1000)
+	if winBig.PHC != full.PHC {
+		t.Errorf("oversized window PHC %d != plain GGR %d", winBig.PHC, full.PHC)
+	}
+}
+
+func TestGGRWindowedMonotoneInWindow(t *testing.T) {
+	// Larger windows see more rows at once, so PHC should not get much
+	// worse; exact monotonicity is not guaranteed (greedy), but the full
+	// window must beat tiny windows on a heavily grouped table.
+	tb := fig1bTable(20) // 60 rows, strong group structure
+	tiny := GGRWindowed(tb, GGROptions{LenOf: table.CharLen}, 3)
+	full := GGRWindowed(tb, GGROptions{LenOf: table.CharLen}, 60)
+	if full.PHC <= tiny.PHC {
+		t.Errorf("full window PHC %d not above window-3 PHC %d", full.PHC, tiny.PHC)
+	}
+}
+
+func TestGGRWindowedKeepsSources(t *testing.T) {
+	tb := fig1aTable(10, 3)
+	res := GGRWindowed(tb, GGROptions{LenOf: table.CharLen}, 4)
+	seen := map[int]bool{}
+	for _, r := range res.Schedule.Rows {
+		if seen[r.Source] {
+			t.Fatalf("source %d duplicated", r.Source)
+		}
+		seen[r.Source] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("only %d sources covered", len(seen))
+	}
+}

@@ -1,0 +1,214 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/table"
+)
+
+// pdmxColumns is the Appendix B field list (57 columns: wide, mostly short
+// metadata with a few long text entries).
+var pdmxColumns = []string{
+	"artistname", "bestarrangement", "bestpath", "bestuniquearrangement",
+	"composername", "complexity", "genre", "grooveconsistency",
+	"hasannotations", "hascustomaudio", "hascustomvideo", "haslyrics",
+	"hasmetadata", "haspaywall", "id", "isbestarrangement", "isbestpath",
+	"isbestuniquearrangement", "isdraft", "isofficial", "isoriginal",
+	"isuserpro", "isuserpublisher", "isuserstaff", "license", "licenseurl",
+	"metadata", "nannotations", "ncomments", "nfavorites", "nlyrics",
+	"notesperbar", "nnotes", "nratings", "ntracks", "ntokens", "nviews",
+	"path", "pitchclassentropy", "postdate", "postid", "publisher", "rating",
+	"scaleconsistency", "songlength", "songlengthbars", "songlengthbeats",
+	"songlengthseconds", "songname", "subsetall", "subsetdeduplicated",
+	"subsetrated", "subsetrateddeduplicated", "subtitle", "tags", "text",
+	"title",
+}
+
+var pdmxLicenses = []struct{ name, url string }{
+	{"CC-BY-4.0", "https://creativecommons.org/licenses/by/4.0/"},
+	{"CC-BY-SA-4.0", "https://creativecommons.org/licenses/by-sa/4.0/"},
+	{"CC0-1.0", "https://creativecommons.org/publicdomain/zero/1.0/"},
+	{"CC-BY-NC-4.0", "https://creativecommons.org/licenses/by-nc/4.0/"},
+	{"Public-Domain-Mark", "https://creativecommons.org/publicdomain/mark/1.0/"},
+}
+
+var pdmxGenres = []string{
+	"classical", "folk", "pop", "jazz", "rock", "soundtrack", "religious",
+	"traditional", "electronic", "country", "blues", "latin", "march",
+}
+
+// PDMX synthesizes the Public Domain MusicXML dataset: 10,000 score rows
+// (~2,500 base songs × ~4 arrangements), 57 fields. PDMX is heavily
+// duplicated — its own subset flags (subsetdeduplicated etc.) exist because
+// many uploads are re-arrangements of the same song — so the long lyrics
+// field repeats across a song's arrangements while metadata/path are unique
+// per row. FDs (Appendix B): {metadata, path} and a boolean profile group
+// {hasannotations, hasmetadata, isdraft, isofficial, isuserpublisher,
+// subsetall}.
+func PDMX(opt Options) *Relational {
+	r := rand.New(rand.NewSource(opt.Seed ^ 0x50444d58))
+	tg := newTextGen(opt.Seed ^ 0x50444d59)
+
+	nRows := opt.scaled(10000)
+	nSongs := opt.scaled(2500)
+	nArtists := opt.scaled(600)
+
+	// Arrangements of one song share the song-level fields AND the musical
+	// statistics (note counts, lengths, consistency scores): PDMX's many
+	// near-duplicate uploads are re-engravings of the same score, which is
+	// exactly why the dataset ships subset/dedup flags. Only upload-level
+	// fields (ids, paths, metadata, dates, view counts) vary per row.
+	type song struct {
+		name, title, subtitle, lyrics  string
+		artist, composer, genre, tags  string
+		publisher, license, licenseURL string
+		hasLyrics, mentionsPerson      bool
+		complexity, nnotes, ntracks    int
+		songLen, bars, beats           int
+		rating, groove, scale, npb     string
+	}
+	artists := make([]string, nArtists)
+	for i := range artists {
+		artists[i] = tg.title(2)
+	}
+	publishers := make([]string, 60)
+	for i := range publishers {
+		publishers[i] = "MuseScore User " + tg.phrase(1)
+	}
+	songs := make([]song, nSongs)
+	for i := range songs {
+		hasLyrics := r.Intn(10) < 7
+		lyrics := "None"
+		if hasLyrics {
+			lyrics = tg.sentence(250 + r.Intn(90))
+		}
+		name := tg.title(2 + r.Intn(2))
+		composer := "None"
+		mentions := false
+		if r.Intn(3) > 0 {
+			composer = tg.title(2)
+			mentions = true
+		}
+		lic := pick(r, pdmxLicenses)
+		songs[i] = song{
+			name: name, title: name, subtitle: tg.title(1 + r.Intn(2)),
+			lyrics: lyrics, artist: pick(r, artists), composer: composer,
+			genre: pick(r, pdmxGenres), tags: pick(r, pdmxGenres) + "," + pick(r, pdmxGenres),
+			publisher: pick(r, publishers), license: lic.name, licenseURL: lic.url,
+			hasLyrics: hasLyrics, mentionsPerson: mentions,
+			complexity: 1 + r.Intn(10), nnotes: 200 + r.Intn(6000), ntracks: 1 + r.Intn(8),
+			songLen: 30 + r.Intn(400), bars: 8 + r.Intn(200), beats: 32 + r.Intn(800),
+			rating: fmt.Sprintf("%d.%d", r.Intn(5), r.Intn(10)),
+			groove: fmt.Sprintf("0.%02d", r.Intn(100)),
+			scale:  fmt.Sprintf("0.%02d", r.Intn(100)),
+			npb:    fmt.Sprintf("%d.%d", 2+r.Intn(8), r.Intn(10)),
+		}
+	}
+
+	// The bidirectional boolean FD group admits only bijective profiles:
+	// fixing any member fixes the rest, so at most two distinct 6-tuples.
+	boolProfiles := [2][6]string{
+		{"True", "True", "False", "True", "False", "True"},
+		{"False", "False", "True", "False", "True", "False"},
+	}
+
+	t := table.New(pdmxColumns...)
+	fds := table.NewFDSet()
+	fds.AddGroup("metadata", "path")
+	fds.AddGroup("hasannotations", "hasmetadata", "isdraft", "isofficial", "isuserpublisher", "subsetall")
+	if err := t.SetFDs(fds); err != nil {
+		panic(err)
+	}
+
+	labels := make([]string, nRows)
+	row := make(map[string]string, len(pdmxColumns))
+	for i := 0; i < nRows; i++ {
+		s := songs[r.Intn(nSongs)]
+		prof := boolProfiles[r.Intn(2)]
+		boolStr := func(b bool) string {
+			if b {
+				return "True"
+			}
+			return "False"
+		}
+		pathStr := fmt.Sprintf("/data/%s/%s/%d.mxl", tg.slug(1), tg.slug(2), i)
+
+		// Song-level fields: identical across a song's arrangements.
+		row["artistname"] = s.artist
+		row["composername"] = s.composer
+		row["complexity"] = fmt.Sprintf("%d", s.complexity)
+		row["genre"] = s.genre
+		row["grooveconsistency"] = s.groove
+		row["haslyrics"] = boolStr(s.hasLyrics)
+		row["license"] = s.license
+		row["licenseurl"] = s.licenseURL
+		row["notesperbar"] = s.npb
+		row["nnotes"] = fmt.Sprintf("%d", s.nnotes)
+		row["ntracks"] = fmt.Sprintf("%d", s.ntracks)
+		row["ntokens"] = fmt.Sprintf("%d", s.nnotes*2)
+		row["publisher"] = s.publisher
+		row["rating"] = s.rating
+		row["scaleconsistency"] = s.scale
+		row["songlength"] = fmt.Sprintf("%d", s.songLen)
+		row["songlengthbars"] = fmt.Sprintf("%d", s.bars)
+		row["songlengthbeats"] = fmt.Sprintf("%d", s.beats)
+		row["songlengthseconds"] = fmt.Sprintf("%d", s.songLen)
+		row["songname"] = s.name
+		row["subtitle"] = s.subtitle
+		row["tags"] = s.tags
+		row["text"] = s.lyrics
+		row["title"] = s.title
+		row["nlyrics"] = fmt.Sprintf("%d", s.nnotes/12)
+
+		// Upload-level fields: unique or near-unique per row.
+		row["bestarrangement"] = boolStr(r.Intn(4) == 0)
+		row["bestpath"] = fmt.Sprintf("/best/%s/%d.mxl", tg.slug(2), i)
+		row["bestuniquearrangement"] = boolStr(r.Intn(4) == 0)
+		row["hasannotations"] = prof[0]
+		row["hascustomaudio"] = boolStr(r.Intn(6) == 0)
+		row["hascustomvideo"] = boolStr(r.Intn(8) == 0)
+		row["hasmetadata"] = prof[1]
+		row["haspaywall"] = boolStr(r.Intn(12) == 0)
+		row["id"] = fmt.Sprintf("%d", 500000+i)
+		row["isbestarrangement"] = boolStr(r.Intn(4) == 0)
+		row["isbestpath"] = boolStr(r.Intn(4) == 0)
+		row["isbestuniquearrangement"] = boolStr(r.Intn(4) == 0)
+		row["isdraft"] = prof[2]
+		row["isofficial"] = prof[3]
+		row["isoriginal"] = boolStr(r.Intn(3) == 0)
+		row["isuserpro"] = boolStr(r.Intn(5) == 0)
+		row["isuserpublisher"] = prof[4]
+		row["isuserstaff"] = boolStr(r.Intn(20) == 0)
+		row["metadata"] = fmt.Sprintf("{\"source\": \"musescore\", \"upload\": \"%s\", \"checksum\": \"%08x%08x\", \"revision\": %d}",
+			tg.slug(2), r.Uint32(), r.Uint32(), r.Intn(40))
+		row["nannotations"] = fmt.Sprintf("%d", r.Intn(20))
+		row["ncomments"] = fmt.Sprintf("%d", r.Intn(50))
+		row["nfavorites"] = fmt.Sprintf("%d", r.Intn(3000))
+		row["nratings"] = fmt.Sprintf("%d", r.Intn(200))
+		row["nviews"] = fmt.Sprintf("%d", r.Intn(100000))
+		row["path"] = pathStr
+		row["pitchclassentropy"] = fmt.Sprintf("%d.%04d", 1+r.Intn(3), r.Intn(10000))
+		row["postdate"] = fmt.Sprintf("20%02d-%02d-%02d", 10+r.Intn(14), 1+r.Intn(12), 1+r.Intn(28))
+		row["postid"] = fmt.Sprintf("%d", 900000+i)
+		row["subsetall"] = prof[5]
+		row["subsetdeduplicated"] = boolStr(r.Intn(2) == 0)
+		row["subsetrated"] = boolStr(r.Intn(2) == 0)
+		row["subsetrateddeduplicated"] = boolStr(r.Intn(3) == 0)
+
+		cells := make([]string, len(pdmxColumns))
+		for j, c := range pdmxColumns {
+			cells[j] = row[c]
+		}
+		t.MustAppendRow(cells...)
+		if s.mentionsPerson {
+			labels[i] = "YES"
+		} else {
+			labels[i] = "NO"
+		}
+	}
+	if err := t.SetHidden("label", labels); err != nil {
+		panic(err)
+	}
+	return &Relational{Name: "PDMX", Table: t}
+}

@@ -1,0 +1,50 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RelationalNames lists the table datasets in the paper's presentation order.
+var RelationalNames = []string{"Movies", "Products", "BIRD", "PDMX", "Beer"}
+
+// RAGNames lists the retrieval datasets.
+var RAGNames = []string{"FEVER", "SQuAD"}
+
+var relationalBuilders = map[string]func(Options) *Relational{
+	"Movies":   Movies,
+	"Products": Products,
+	"BIRD":     BIRD,
+	"PDMX":     PDMX,
+	"Beer":     Beer,
+}
+
+var ragBuilders = map[string]func(Options) *RAG{
+	"FEVER": FEVER,
+	"SQuAD": SQuAD,
+}
+
+// RelationalByName builds a table dataset by its paper name.
+func RelationalByName(name string, opt Options) (*Relational, error) {
+	b, ok := relationalBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown relational dataset %q (have %v)", name, RelationalNames)
+	}
+	return b(opt), nil
+}
+
+// RAGByName builds a retrieval dataset by its paper name.
+func RAGByName(name string, opt Options) (*RAG, error) {
+	b, ok := ragBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("datagen: unknown RAG dataset %q (have %v)", name, RAGNames)
+	}
+	return b(opt), nil
+}
+
+// AllNames returns every dataset name, sorted.
+func AllNames() []string {
+	out := append(append([]string(nil), RelationalNames...), RAGNames...)
+	sort.Strings(out)
+	return out
+}

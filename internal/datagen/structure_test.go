@@ -1,0 +1,169 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vecdb"
+)
+
+// TestPDMXArrangementsShareSongFields pins the PDMX structure the paper's
+// 57% hit rate depends on: rows of the same song (same lyrics) must agree on
+// every song-level field while differing in upload-level fields.
+func TestPDMXArrangementsShareSongFields(t *testing.T) {
+	d := PDMX(Options{Scale: 0.05, Seed: 2})
+	tbl := d.Table
+	textCol, _ := tbl.ColIndex("text")
+	songLevel := []string{
+		"artistname", "composername", "complexity", "genre", "license",
+		"nnotes", "publisher", "rating", "songname", "songlength", "title",
+	}
+	uploadLevel := []string{"id", "postid", "path", "metadata"}
+
+	// Group rows by lyrics (proxy for song identity; skip the "None" pool).
+	bySong := map[string][]int{}
+	for i := 0; i < tbl.NumRows(); i++ {
+		v := tbl.Cell(i, textCol)
+		if v != "None" {
+			bySong[v] = append(bySong[v], i)
+		}
+	}
+	multi := 0
+	for _, rows := range bySong {
+		if len(rows) < 2 {
+			continue
+		}
+		multi++
+		for _, col := range songLevel {
+			ref, _ := tbl.CellByName(rows[0], col)
+			for _, r := range rows[1:] {
+				v, _ := tbl.CellByName(r, col)
+				if v != ref {
+					t.Fatalf("song-level field %q differs across arrangements: %q vs %q", col, ref, v)
+				}
+			}
+		}
+		for _, col := range uploadLevel {
+			a, _ := tbl.CellByName(rows[0], col)
+			b, _ := tbl.CellByName(rows[1], col)
+			if a == b {
+				t.Fatalf("upload-level field %q identical across arrangements (%q)", col, a)
+			}
+		}
+	}
+	if multi < 10 {
+		t.Fatalf("only %d songs with multiple arrangements; duplication structure missing", multi)
+	}
+}
+
+// TestPDMXBooleanProfileFDHolds verifies the degenerate boolean FD group the
+// paper declares stays bijective in generated data.
+func TestPDMXBooleanProfileFDHolds(t *testing.T) {
+	d := PDMX(Options{Scale: 0.02, Seed: 3})
+	if err := d.Table.FDs().Validate(d.Table); err != nil {
+		t.Fatal(err)
+	}
+	// And only two distinct profiles exist.
+	cols := []string{"hasannotations", "hasmetadata", "isdraft", "isofficial", "isuserpublisher", "subsetall"}
+	profiles := map[string]bool{}
+	for i := 0; i < d.Table.NumRows(); i++ {
+		var sb strings.Builder
+		for _, c := range cols {
+			v, _ := d.Table.CellByName(i, c)
+			sb.WriteString(v)
+			sb.WriteByte('|')
+		}
+		profiles[sb.String()] = true
+	}
+	if len(profiles) != 2 {
+		t.Errorf("boolean profile count = %d, want 2 (bidirectional FD limit)", len(profiles))
+	}
+}
+
+// TestRAGCanonicalRetrievalStability pins the retrieval property behind the
+// paper's RAG hit rates: most questions about one topic retrieve the topic's
+// passages in one canonical order.
+func TestRAGCanonicalRetrievalStability(t *testing.T) {
+	d := FEVER(Options{Scale: 0.05, Seed: 5})
+	emb := vecdb.NewEmbedder(256)
+	ix := vecdb.NewIndex(emb)
+	ix.AddAll(d.Corpus)
+
+	qIdx, _ := d.Questions.ColIndex("claim")
+	topics, _ := d.Questions.Hidden("topic")
+	// For each topic, count how many questions agree on the topic's most
+	// common top-1 retrieved passage: that leading context is what row
+	// grouping keys on, so its stability is what reordering needs. (The
+	// deeper ranks are allowed to vary — that is the intended per-question
+	// diversity.)
+	top1 := map[string]map[int]int{}
+	counts := map[string]int{}
+	for i := 0; i < d.Questions.NumRows(); i++ {
+		res, err := ix.Search(d.Questions.Cell(i, qIdx), d.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := topics[i]
+		if top1[tp] == nil {
+			top1[tp] = map[int]int{}
+		}
+		top1[tp][res[0].ID]++
+		counts[tp]++
+	}
+	var canonical, total int
+	distinctTop := 0
+	for tp, byDoc := range top1 {
+		best := 0
+		for _, c := range byDoc {
+			if c > best {
+				best = c
+			}
+		}
+		if len(byDoc) > 1 {
+			distinctTop++
+		}
+		canonical += best
+		total += counts[tp]
+	}
+	frac := float64(canonical) / float64(total)
+	if frac < 0.6 {
+		t.Errorf("only %.0f%% of questions share their topic's canonical top context", 100*frac)
+	}
+	if distinctTop == 0 {
+		t.Error("every topic has a single top context for all questions; intended diversity is gone")
+	}
+}
+
+// TestBeerRunsShortAdjacency verifies the generation-order property behind
+// Beer's unusually high original-order hit rate (runs of 1-2 reviews per
+// beer, Sec. 6.2).
+func TestBeerRunsShortAdjacency(t *testing.T) {
+	d := Beer(Options{Scale: 0.05, Seed: 6})
+	idCol, _ := d.Table.ColIndex("beer/beerId")
+	same := 0
+	for i := 1; i < d.Table.NumRows(); i++ {
+		if d.Table.Cell(i, idCol) == d.Table.Cell(i-1, idCol) {
+			same++
+		}
+	}
+	frac := float64(same) / float64(d.Table.NumRows()-1)
+	if frac < 0.15 || frac > 0.55 {
+		t.Errorf("adjacent same-beer fraction = %.2f, want the partial-grouping regime [0.15, 0.55]", frac)
+	}
+}
+
+// TestMoviesEntityAdjacencyLow: review datasets must NOT arrive grouped by
+// entity (that would inflate the original-order baseline beyond the paper).
+func TestMoviesEntityAdjacencyLow(t *testing.T) {
+	d := Movies(Options{Scale: 0.05, Seed: 6})
+	col, _ := d.Table.ColIndex("movieinfo")
+	same := 0
+	for i := 1; i < d.Table.NumRows(); i++ {
+		if d.Table.Cell(i, col) == d.Table.Cell(i-1, col) {
+			same++
+		}
+	}
+	if frac := float64(same) / float64(d.Table.NumRows()-1); frac > 0.1 {
+		t.Errorf("adjacent same-movie fraction = %.2f, want < 0.1", frac)
+	}
+}

@@ -1,0 +1,56 @@
+package llmsim
+
+import (
+	"testing"
+)
+
+func BenchmarkEngineSharedWorkload(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(baseConfig(true)).Run(mkReqs(200, 400, 4, true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.DecodeTokens == 0 {
+			b.Fatal("no work done")
+		}
+	}
+}
+
+func BenchmarkEngineDistinctWorkload(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(baseConfig(true)).Run(mkReqs(200, 400, 4, false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineNoCache(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(baseConfig(false)).Run(mkReqs(200, 400, 4, true)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineCacheAware(b *testing.B) {
+	cfg := baseConfig(true)
+	cfg.Sched = CacheAware
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(cfg).Run(interleavedShared(200, 256)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStepTime(b *testing.B) {
+	cm := CostModel{Model: Llama3_8B, Cluster: SingleL4}
+	work := []PrefillWork{{NewTokens: 512, CtxStart: 512}, {NewTokens: 256}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm.StepTime(work, 16, 8000)
+	}
+}

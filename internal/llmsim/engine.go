@@ -1,0 +1,326 @@
+package llmsim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/kvcache"
+	"repro/internal/tokenizer"
+)
+
+// Request is one LLM invocation: a tokenized prompt and a deterministic
+// output budget (the simulator does not generate text; the oracle layer
+// decides answers, the engine only accounts time and memory).
+type Request struct {
+	ID        int
+	Prompt    []tokenizer.Token
+	OutTokens int
+
+	// Results, populated by Run.
+	Matched   int     // prompt tokens served from the prefix cache
+	StartTime float64 // admission time (s, virtual)
+	EndTime   float64 // completion time (s, virtual)
+
+	lease     *kvcache.Lease
+	prefilled int
+	generated int
+	admitted  bool
+	done      bool
+}
+
+// SchedPolicy selects how the engine admits waiting requests.
+type SchedPolicy int
+
+const (
+	// FIFO admits requests strictly in arrival order — preserving whatever
+	// schedule the offline reordering produced. This is the default and the
+	// paper's setting.
+	FIFO SchedPolicy = iota
+	// CacheAware greedily admits, within a bounded lookahead window, the
+	// waiting request with the longest currently-cached prefix (SGLang-style
+	// online scheduling). It reorders rows but cannot reorder fields, so it
+	// lower-bounds what offline GGR achieves; the ablation_online experiment
+	// quantifies the gap.
+	CacheAware
+)
+
+// Config sizes the engine.
+type Config struct {
+	Cost CostModel
+	// BlockSize is the KV block size in tokens (default 16).
+	BlockSize int
+	// MaxBatchSeqs caps concurrently running sequences (default 32, the
+	// paper's batching assumption).
+	MaxBatchSeqs int
+	// MaxBatchTokens is the per-step token budget shared by decode (1 per
+	// sequence) and chunked prefill (default 8192).
+	MaxBatchTokens int
+	// CacheEnabled toggles prefix caching; false is the No Cache baseline.
+	CacheEnabled bool
+	// CapacityOverride, when positive, replaces the cost-model-derived KV
+	// pool size (in blocks). Used by tests.
+	CapacityOverride int64
+	// Sched selects the admission policy (default FIFO).
+	Sched SchedPolicy
+	// Lookahead bounds CacheAware's scan of the waiting queue (default 64).
+	Lookahead int
+	// Trace, when non-nil, receives a JSONL event log of the run (see
+	// TraceEvent).
+	Trace io.Writer
+}
+
+func (c Config) lookahead() int {
+	if c.Lookahead > 0 {
+		return c.Lookahead
+	}
+	return 64
+}
+
+func (c Config) blockSize() int {
+	if c.BlockSize > 0 {
+		return c.BlockSize
+	}
+	return 16
+}
+
+func (c Config) maxSeqs() int {
+	if c.MaxBatchSeqs > 0 {
+		return c.MaxBatchSeqs
+	}
+	return 32
+}
+
+func (c Config) maxTokens() int {
+	if c.MaxBatchTokens > 0 {
+		return c.MaxBatchTokens
+	}
+	return 8192
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	// JCT is the job completion time: virtual seconds until the last request
+	// finishes. This is the paper's end-to-end query latency.
+	JCT float64
+	// Steps is the number of engine iterations.
+	Steps int64
+	// PromptTokens / MatchedTokens / PrefilledTokens decompose prompt
+	// processing: Matched were served from cache, Prefilled were computed.
+	PromptTokens    int64
+	MatchedTokens   int64
+	PrefilledTokens int64
+	// DecodeTokens is the total generated token count.
+	DecodeTokens int64
+	// MeanLatency is the average per-request latency; P50/P95/P99 its
+	// percentiles; MaxRunning the peak concurrent batch size observed.
+	MeanLatency float64
+	P50Latency  float64
+	P95Latency  float64
+	P99Latency  float64
+	MaxRunning  int
+	// Cache is the KV cache's own accounting.
+	Cache kvcache.Stats
+}
+
+// HitRate is MatchedTokens / PromptTokens.
+func (m Metrics) HitRate() float64 {
+	if m.PromptTokens == 0 {
+		return 0
+	}
+	return float64(m.MatchedTokens) / float64(m.PromptTokens)
+}
+
+// Engine executes a request schedule under continuous batching.
+type Engine struct {
+	cfg   Config
+	cache *kvcache.Cache
+}
+
+// New builds an engine; the KV pool is sized from the cost model.
+func New(cfg Config) *Engine {
+	capacity := cfg.CapacityOverride
+	if capacity <= 0 {
+		capacity = cfg.Cost.KVPoolBlocks(cfg.blockSize())
+	}
+	return &Engine{
+		cfg: cfg,
+		cache: kvcache.New(kvcache.Config{
+			BlockSize:      cfg.blockSize(),
+			CapacityBlocks: capacity,
+			Disabled:       !cfg.CacheEnabled,
+		}),
+	}
+}
+
+// Run processes the requests (under FIFO, the given order IS the serving
+// order — preserving it is the contract the offline reordering algorithms
+// rely on) and returns aggregate metrics. Request result fields are filled
+// in place.
+func (e *Engine) Run(reqs []*Request) (Metrics, error) {
+	var m Metrics
+	clock := 0.0
+	waiting := append([]*Request(nil), reqs...)
+	var running []*Request
+	finished := 0
+	latencies := make([]float64, 0, len(reqs))
+	tr := newTracer(e.cfg.Trace)
+
+	for finished < len(reqs) {
+		// Admission: a request enters when a batch slot and KV memory are
+		// available. FIFO never reorders around a blocked head; CacheAware
+		// picks the best-matching waiting request within the lookahead.
+		for len(waiting) > 0 && len(running) < e.cfg.maxSeqs() {
+			idx := 0
+			if e.cfg.Sched == CacheAware {
+				idx = e.pickCacheAware(waiting)
+			}
+			r := waiting[idx]
+			if len(r.Prompt) == 0 {
+				return m, fmt.Errorf("llmsim: request %d has an empty prompt", r.ID)
+			}
+			if r.OutTokens <= 0 {
+				r.OutTokens = 1 // every request emits at least one token
+			}
+			lease, ok := e.cache.Acquire(r.Prompt, r.OutTokens)
+			if !ok {
+				break
+			}
+			waiting = append(waiting[:idx], waiting[idx+1:]...)
+			r.lease = lease
+			r.Matched = lease.Matched
+			r.prefilled = lease.Matched
+			r.admitted = true
+			r.StartTime = clock
+			m.PromptTokens += int64(len(r.Prompt))
+			m.MatchedTokens += int64(lease.Matched)
+			running = append(running, r)
+			tr.emit(TraceEvent{Time: clock, Kind: "admit", Req: r.ID,
+				Matched: r.Matched, Prompt: len(r.Prompt), UsedBlocks: e.cache.UsedBlocks()})
+		}
+		if len(running) == 0 {
+			if len(waiting) > 0 {
+				return m, fmt.Errorf("llmsim: request %d cannot fit in KV memory even alone (prompt %d tokens)",
+					waiting[0].ID, len(waiting[0].Prompt))
+			}
+			break
+		}
+		if len(running) > m.MaxRunning {
+			m.MaxRunning = len(running)
+		}
+
+		// One iteration: sequences already past prefill decode one token
+		// (1 budget unit each); the remaining budget feeds chunked prefill
+		// in FIFO order. A request whose prefill completes this step emits
+		// its first output token from the prefill itself, matching real
+		// prefill-produces-first-token semantics.
+		budget := e.cfg.maxTokens()
+		var prefill []PrefillWork
+		var emits []*Request
+		decodeSeqs := 0
+		var decodeCtx int64
+		for _, r := range running {
+			if r.prefilled < len(r.Prompt) {
+				continue
+			}
+			decodeSeqs++
+			decodeCtx += int64(len(r.Prompt) + r.generated)
+			budget--
+			emits = append(emits, r)
+		}
+		for _, r := range running {
+			if budget <= 0 {
+				break
+			}
+			pending := len(r.Prompt) - r.prefilled
+			if pending <= 0 {
+				continue
+			}
+			chunk := pending
+			if chunk > budget {
+				chunk = budget
+			}
+			prefill = append(prefill, PrefillWork{NewTokens: chunk, CtxStart: r.prefilled})
+			r.prefilled += chunk
+			budget -= chunk
+			m.PrefilledTokens += int64(chunk)
+			if r.prefilled == len(r.Prompt) {
+				emits = append(emits, r)
+			}
+		}
+
+		clock += e.cfg.Cost.StepTime(prefill, decodeSeqs, decodeCtx)
+		m.Steps++
+		stepPrefill := 0
+		for _, w := range prefill {
+			stepPrefill += w.NewTokens
+		}
+		tr.emit(TraceEvent{Time: clock, Kind: "step", Running: len(running),
+			PrefillTokens: stepPrefill, DecodeSeqs: decodeSeqs, UsedBlocks: e.cache.UsedBlocks()})
+
+		for _, r := range emits {
+			r.generated++
+			m.DecodeTokens++
+		}
+
+		still := running[:0]
+		for _, r := range running {
+			if r.prefilled >= len(r.Prompt) && r.generated >= r.OutTokens {
+				r.done = true
+				r.EndTime = clock
+				e.cache.Release(r.lease)
+				finished++
+				latencies = append(latencies, clock-r.StartTime)
+				tr.emit(TraceEvent{Time: clock, Kind: "finish", Req: r.ID, Latency: clock - r.StartTime})
+				continue
+			}
+			still = append(still, r)
+		}
+		running = still
+	}
+
+	m.JCT = clock
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		m.MeanLatency = sum / float64(len(latencies))
+		sort.Float64s(latencies)
+		m.P50Latency = latencies[len(latencies)*50/100]
+		m.P95Latency = latencies[min(len(latencies)*95/100, len(latencies)-1)]
+		m.P99Latency = latencies[min(len(latencies)*99/100, len(latencies)-1)]
+	}
+	m.Cache = e.cache.Stats()
+	if err := tr.Err(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// pickCacheAware returns the waiting-queue index (within the lookahead
+// window) whose prompt has the longest currently-cached prefix, preferring
+// the earliest on ties so starvation is bounded by the window.
+func (e *Engine) pickCacheAware(waiting []*Request) int {
+	window := e.cfg.lookahead()
+	if window > len(waiting) {
+		window = len(waiting)
+	}
+	best, bestMatch := 0, -1
+	for i := 0; i < window; i++ {
+		if m := e.cache.MatchLen(waiting[i].Prompt); m > bestMatch {
+			best, bestMatch = i, m
+		}
+	}
+	return best
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Cache exposes the engine's cache for inspection in tests.
+func (e *Engine) Cache() *kvcache.Cache { return e.cache }

@@ -1,0 +1,244 @@
+// Package llmsim is a discrete-event simulator of an LLM serving engine in
+// the style of vLLM: continuous batching, chunked prefill, and a paged
+// prefix KV cache. It stands in for the paper's GPU testbed (repro band:
+// "scheduler as proxy to inference server").
+//
+// The simulator models the two mechanisms through which prefix reuse speeds
+// up the paper's workloads:
+//
+//  1. Compute: prompt tokens matched in the prefix cache skip prefill FLOPs
+//     (later tokens still attend over them).
+//  2. Memory: matched blocks are shared, so concurrent requests occupy less
+//     KV memory, admitting larger batches that amortize weight reads during
+//     decode.
+//
+// Timing comes from a roofline cost model (peak FLOPs for prefill, memory
+// bandwidth for decode) over published hardware numbers, so absolute times
+// are approximations while ratios between baselines — the paper's reported
+// quantities — are driven entirely by cache behaviour.
+package llmsim
+
+// ModelConfig describes a dense decoder-only transformer in enough detail to
+// count parameters, FLOPs, and KV bytes.
+type ModelConfig struct {
+	Name         string
+	Layers       int
+	Hidden       int
+	Heads        int
+	KVHeads      int
+	HeadDim      int
+	Intermediate int
+	Vocab        int
+	// TiedEmbeddings marks models whose input embedding and LM head share
+	// weights (Llama 3.2 1B does; the 8B and 70B models do not).
+	TiedEmbeddings bool
+	// BytesPerParam is the weight precision (2 for fp16/bf16).
+	BytesPerParam float64
+}
+
+// Params approximates the parameter count from the architecture.
+func (m ModelConfig) Params() float64 {
+	attn := float64(m.Hidden) * float64(m.HeadDim) * float64(2*m.Heads+2*m.KVHeads)
+	mlp := 3 * float64(m.Hidden) * float64(m.Intermediate)
+	perLayer := attn + mlp
+	embed := float64(m.Vocab) * float64(m.Hidden)
+	if !m.TiedEmbeddings {
+		embed *= 2
+	}
+	return float64(m.Layers)*perLayer + embed
+}
+
+// WeightBytes is the resident weight footprint.
+func (m ModelConfig) WeightBytes() float64 { return m.Params() * m.BytesPerParam }
+
+// KVBytesPerToken is the KV-cache footprint of one token: K and V vectors
+// for every layer over the (grouped) KV heads.
+func (m ModelConfig) KVBytesPerToken() float64 {
+	return 2 * float64(m.Layers) * float64(m.KVHeads) * float64(m.HeadDim) * m.BytesPerParam
+}
+
+// FlopsPerToken is the dense compute per token ignoring attention context
+// (the classic 2·N rule).
+func (m ModelConfig) FlopsPerToken() float64 { return 2 * m.Params() }
+
+// attnFlopsPerTokenPerCtx is the extra attention compute per (new token ×
+// context token) pair: QKᵀ and AV matmuls across layers and query heads.
+func (m ModelConfig) attnFlopsPerTokenPerCtx() float64 {
+	return 4 * float64(m.Layers) * float64(m.Heads) * float64(m.HeadDim)
+}
+
+// Model presets matching the paper's evaluation (Sec. 6.1.3, Appendix D.2).
+var (
+	// Llama3_8B is Meta-Llama-3-8B-Instruct.
+	Llama3_8B = ModelConfig{
+		Name: "llama-3-8b", Layers: 32, Hidden: 4096, Heads: 32, KVHeads: 8,
+		HeadDim: 128, Intermediate: 14336, Vocab: 128256, BytesPerParam: 2,
+	}
+	// Llama3_70B is Meta-Llama-3-70B-Instruct.
+	Llama3_70B = ModelConfig{
+		Name: "llama-3-70b", Layers: 80, Hidden: 8192, Heads: 64, KVHeads: 8,
+		HeadDim: 128, Intermediate: 28672, Vocab: 128256, BytesPerParam: 2,
+	}
+	// Llama32_1B is Llama-3.2-1B (Appendix D.2's small-model ablation).
+	Llama32_1B = ModelConfig{
+		Name: "llama-3.2-1b", Layers: 16, Hidden: 2048, Heads: 32, KVHeads: 8,
+		HeadDim: 64, Intermediate: 8192, Vocab: 128256, TiedEmbeddings: true,
+		BytesPerParam: 2,
+	}
+)
+
+// GPUSpec is the per-device hardware envelope.
+type GPUSpec struct {
+	Name string
+	// MemBytes is device memory; FLOPS is peak dense fp16 compute;
+	// Bandwidth is peak memory bandwidth, both per device.
+	MemBytes  float64
+	FLOPS     float64
+	Bandwidth float64
+}
+
+// L4 is the NVIDIA L4 (24 GB, 121 TFLOPS dense fp16, 300 GB/s) the paper
+// evaluates on (GCP g2-standard instances).
+var L4 = GPUSpec{Name: "L4", MemBytes: 24e9, FLOPS: 121e12, Bandwidth: 300e9}
+
+// Cluster is a tensor-parallel group of identical GPUs.
+type Cluster struct {
+	GPU   GPUSpec
+	Count int
+	// TPEfficiency discounts aggregate compute/bandwidth for tensor-parallel
+	// communication (all-reduce per layer). 1 GPU ⇒ no discount.
+	TPEfficiency float64
+}
+
+// SingleL4 is the paper's 8B setup; EightL4 the 70B setup (g2-standard-48).
+var (
+	SingleL4 = Cluster{GPU: L4, Count: 1, TPEfficiency: 1.0}
+	EightL4  = Cluster{GPU: L4, Count: 8, TPEfficiency: 0.8}
+)
+
+func (c Cluster) effCount() float64 {
+	if c.Count <= 1 {
+		return float64(max(c.Count, 1))
+	}
+	eff := c.TPEfficiency
+	if eff <= 0 || eff > 1 {
+		eff = 0.8
+	}
+	return float64(c.Count) * eff
+}
+
+// TotalMemBytes is the aggregate device memory.
+func (c Cluster) TotalMemBytes() float64 { return float64(c.Count) * c.GPU.MemBytes }
+
+// CostModel turns token counts into seconds via a roofline: compute-bound
+// prefill against utilization-discounted FLOPs, bandwidth-bound decode
+// against utilization-discounted memory bandwidth.
+type CostModel struct {
+	Model   ModelConfig
+	Cluster Cluster
+	// MFU is the achieved fraction of peak FLOPs during prefill (default 0.5);
+	// MBU the achieved fraction of peak bandwidth during decode (default 0.7).
+	MFU float64
+	MBU float64
+	// StepOverhead is fixed per-engine-step time (scheduling, kernel
+	// launches); default 2 ms.
+	StepOverhead float64
+}
+
+func (cm CostModel) mfu() float64 {
+	if cm.MFU > 0 {
+		return cm.MFU
+	}
+	return 0.5
+}
+
+func (cm CostModel) mbu() float64 {
+	if cm.MBU > 0 {
+		return cm.MBU
+	}
+	return 0.7
+}
+
+func (cm CostModel) overhead() float64 {
+	if cm.StepOverhead > 0 {
+		return cm.StepOverhead
+	}
+	return 0.002
+}
+
+// effFLOPS is sustained cluster compute.
+func (cm CostModel) effFLOPS() float64 {
+	return cm.Cluster.GPU.FLOPS * cm.Cluster.effCount() * cm.mfu()
+}
+
+// effBandwidth is sustained cluster memory bandwidth.
+func (cm CostModel) effBandwidth() float64 {
+	return cm.Cluster.GPU.Bandwidth * cm.Cluster.effCount() * cm.mbu()
+}
+
+// KVPoolBytes is the memory left for the KV cache after weights and a
+// runtime reserve (activations, CUDA graphs); vLLM's gpu_memory_utilization
+// plays the same role.
+func (cm CostModel) KVPoolBytes() float64 {
+	reserve := 0.10 * cm.Cluster.TotalMemBytes()
+	pool := cm.Cluster.TotalMemBytes() - cm.Model.WeightBytes() - reserve
+	if pool < 0 {
+		pool = 0
+	}
+	return pool
+}
+
+// KVPoolBlocks converts the pool to blocks of blockSize tokens.
+func (cm CostModel) KVPoolBlocks(blockSize int) int64 {
+	return int64(cm.KVPoolBytes() / (cm.Model.KVBytesPerToken() * float64(blockSize)))
+}
+
+// PrefillWork is one request's share of a prefill step: newTokens processed
+// with ctxStart tokens already in place (cached prefix plus earlier chunks).
+type PrefillWork struct {
+	NewTokens int
+	CtxStart  int
+}
+
+// StepTime computes the duration of one engine iteration that prefills the
+// given chunks and decodes decodeSeqs sequences whose total context length
+// is decodeCtxTokens.
+func (cm CostModel) StepTime(prefill []PrefillWork, decodeSeqs int, decodeCtxTokens int64) float64 {
+	var flops, bytes float64
+
+	// Prefill: dense FLOPs per new token plus quadratic attention over the
+	// running context. Cached tokens are absent from NewTokens — that is the
+	// compute saving — but present in CtxStart, which later tokens attend to.
+	attnRate := cm.Model.attnFlopsPerTokenPerCtx()
+	for _, w := range prefill {
+		t := float64(w.NewTokens)
+		c := float64(w.CtxStart)
+		flops += cm.Model.FlopsPerToken() * t
+		flops += attnRate * (c*t + t*t/2)
+		bytes += cm.Model.KVBytesPerToken() * t // KV writes
+	}
+
+	// Decode: one token per sequence; reads all weights once per step and
+	// the full KV context of every decoding sequence.
+	if decodeSeqs > 0 {
+		flops += cm.Model.FlopsPerToken() * float64(decodeSeqs)
+		flops += attnRate * float64(decodeCtxTokens)
+		bytes += cm.Model.WeightBytes()
+		bytes += cm.Model.KVBytesPerToken() * float64(decodeCtxTokens)
+	} else if len(prefill) > 0 {
+		bytes += cm.Model.WeightBytes() // prefill also streams weights once
+	}
+
+	t := flops / cm.effFLOPS()
+	if m := bytes / cm.effBandwidth(); m > t {
+		t = m
+	}
+	return t + cm.overhead()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

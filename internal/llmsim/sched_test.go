@@ -1,0 +1,115 @@
+package llmsim
+
+import (
+	"testing"
+)
+
+// interleavedShared builds requests alternating between two shared prompt
+// families: FIFO admits them interleaved (poor adjacency under memory
+// pressure), while cache-aware admission groups them.
+func interleavedShared(n, promptLen int) []*Request {
+	reqs := make([]*Request, n)
+	for i := range reqs {
+		base := (i % 2) * 1_000_000
+		p := seq(base, promptLen)
+		// Give each request a distinct tail so prompts are not identical.
+		p = append(p, seq(5_000_000+i*100, 16)...)
+		reqs[i] = &Request{ID: i, Prompt: p, OutTokens: 2}
+	}
+	return reqs
+}
+
+func TestCacheAwareBeatsFIFOUnderPressure(t *testing.T) {
+	mk := func(policy SchedPolicy) Metrics {
+		cfg := baseConfig(true)
+		// 26 blocks fit one 256-token prompt family (16 shared blocks) plus
+		// running tails, but not both families: every cross-family admission
+		// evicts the other family's prefix. FIFO alternates families and
+		// thrashes; cache-aware admission drains one family first.
+		cfg.CapacityOverride = 26
+		cfg.MaxBatchSeqs = 4
+		cfg.Sched = policy
+		m, err := New(cfg).Run(interleavedShared(60, 256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	fifo := mk(FIFO)
+	aware := mk(CacheAware)
+	if aware.HitRate() <= fifo.HitRate() {
+		t.Errorf("cache-aware hit %.2f not above FIFO %.2f", aware.HitRate(), fifo.HitRate())
+	}
+	if aware.JCT >= fifo.JCT {
+		t.Errorf("cache-aware JCT %.1f not below FIFO %.1f", aware.JCT, fifo.JCT)
+	}
+}
+
+func TestCacheAwareCompletesAllRequests(t *testing.T) {
+	cfg := baseConfig(true)
+	cfg.Sched = CacheAware
+	cfg.Lookahead = 8
+	reqs := interleavedShared(40, 128)
+	m, err := New(cfg).Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DecodeTokens != 80 {
+		t.Errorf("decode tokens = %d, want 80", m.DecodeTokens)
+	}
+	for _, r := range reqs {
+		if r.EndTime <= 0 {
+			t.Fatalf("request %d never completed", r.ID)
+		}
+	}
+}
+
+func TestCacheAwareDeterministic(t *testing.T) {
+	run := func() Metrics {
+		cfg := baseConfig(true)
+		cfg.Sched = CacheAware
+		m, err := New(cfg).Run(interleavedShared(30, 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.JCT != b.JCT || a.MatchedTokens != b.MatchedTokens {
+		t.Error("cache-aware scheduling nondeterministic")
+	}
+}
+
+func TestFIFOUnaffectedByLookahead(t *testing.T) {
+	mk := func(look int) Metrics {
+		cfg := baseConfig(true)
+		cfg.Lookahead = look
+		m, err := New(cfg).Run(interleavedShared(20, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if a, b := mk(1), mk(100); a.JCT != b.JCT {
+		t.Error("FIFO results depend on lookahead")
+	}
+}
+
+func TestLatencyPercentilesOrdered(t *testing.T) {
+	m, err := New(baseConfig(true)).Run(mkReqs(50, 300, 4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m.P50Latency <= m.P95Latency && m.P95Latency <= m.P99Latency) {
+		t.Errorf("percentiles out of order: %f %f %f", m.P50Latency, m.P95Latency, m.P99Latency)
+	}
+	if m.P50Latency <= 0 {
+		t.Error("P50 missing")
+	}
+	if m.P99Latency > m.JCT {
+		t.Errorf("P99 %.2f exceeds JCT %.2f", m.P99Latency, m.JCT)
+	}
+	if m.MeanLatency <= 0 || m.MeanLatency > m.JCT {
+		t.Errorf("mean latency %.2f implausible", m.MeanLatency)
+	}
+}

@@ -1,0 +1,189 @@
+// Package oracle is a deterministic stand-in for LLM answer behaviour. The
+// serving simulator accounts time and memory; this package decides what the
+// model says, so the accuracy experiments (Fig. 6) can run end to end.
+//
+// The model: for a labelled classification row, the simulated LLM answers
+// correctly with probability
+//
+//	acc = base(model, dataset) + coef(model, dataset) × (relPos − ½)
+//
+// where relPos ∈ [0,1] is the relative position of the dataset's key field
+// (the field the question is actually about) within that row's prompt. The
+// per-row random draw is a hash of (model, dataset, source row), so the same
+// row compares consistently across schedules: reordering changes the outcome
+// only through the position term. The coefficients encode the paper's
+// observed sensitivities — small for large models, and a strong positive
+// claim-position effect for Llama-3-8B on FEVER (Sec. 6.4: +14.2% when GGR
+// moves the claim to the end of the prompt).
+package oracle
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile is one model's behavioural parameters.
+type Profile struct {
+	Name string
+	// Base accuracy per dataset; DefaultBase covers unlisted datasets.
+	Base        map[string]float64
+	DefaultBase float64
+	// Coef is the accuracy swing per dataset as the key field moves from the
+	// front (relPos 0) to the back (relPos 1) of the prompt.
+	Coef map[string]float64
+}
+
+// Profiles for the three models of the accuracy study (Fig. 6). Base rates
+// approximate the figure's levels; coefficient signs match the reported
+// median deltas (GGR generally moves unique content fields later and grouped
+// fields earlier).
+var (
+	Llama8B = Profile{
+		Name:        "llama-3-8b",
+		DefaultBase: 0.72,
+		Base: map[string]float64{
+			"Movies": 0.78, "Products": 0.75, "BIRD": 0.72,
+			"PDMX": 0.68, "Beer": 0.81, "FEVER": 0.60,
+		},
+		Coef: map[string]float64{
+			"Movies": 0.07, "Products": -0.02, "BIRD": 0.00,
+			"PDMX": 0.02, "Beer": 0.13, "FEVER": 0.145,
+		},
+	}
+	Llama70B = Profile{
+		Name:        "llama-3-70b",
+		DefaultBase: 0.80,
+		Base: map[string]float64{
+			"Movies": 0.85, "Products": 0.82, "BIRD": 0.80,
+			"PDMX": 0.76, "Beer": 0.86, "FEVER": 0.75,
+		},
+		Coef: map[string]float64{
+			"Movies": 0.09, "Products": 0.02, "BIRD": 0.02,
+			"PDMX": -0.02, "Beer": 0.07, "FEVER": 0.017,
+		},
+	}
+	GPT4o = Profile{
+		Name:        "gpt-4o",
+		DefaultBase: 0.84,
+		Base: map[string]float64{
+			"Movies": 0.88, "Products": 0.85, "BIRD": 0.83,
+			"PDMX": 0.80, "Beer": 0.88, "FEVER": 0.80,
+		},
+		Coef: map[string]float64{
+			"Movies": -0.07, "Products": -0.04, "BIRD": -0.02,
+			"PDMX": 0.08, "Beer": 0.07, "FEVER": -0.024,
+		},
+	}
+)
+
+// Accuracy returns the per-row correctness probability for the key field at
+// the given relative position, clamped to [0.02, 0.99].
+func (p Profile) Accuracy(dataset string, relPos float64) float64 {
+	base, ok := p.Base[dataset]
+	if !ok {
+		base = p.DefaultBase
+	}
+	acc := base + p.Coef[dataset]*(relPos-0.5)
+	if acc < 0.02 {
+		acc = 0.02
+	}
+	if acc > 0.99 {
+		acc = 0.99
+	}
+	return acc
+}
+
+// Answer decides the model's output for a classification row. truth is the
+// ground-truth label, choices the label alphabet (must contain truth), and
+// relPos the key field's relative position in this row's prompt. The same
+// (profile, dataset, rowKey) always consumes the same latent random draw.
+func (p Profile) Answer(dataset string, rowKey uint64, truth string, choices []string, relPos float64) string {
+	u := hash01(p.Name, dataset, rowKey, "answer")
+	if u < p.Accuracy(dataset, relPos) {
+		return truth
+	}
+	// Deterministically pick a wrong choice.
+	var wrong []string
+	for _, c := range choices {
+		if c != truth {
+			wrong = append(wrong, c)
+		}
+	}
+	if len(wrong) == 0 {
+		return truth
+	}
+	idx := hashN(uint64(len(wrong)), p.Name, dataset, rowKey, "wrong")
+	return wrong[idx]
+}
+
+// Score returns a 1..maxScore sentiment score for aggregation queries: the
+// ground-truth score perturbed by ±1 with the complement of the accuracy
+// probability.
+func (p Profile) Score(dataset string, rowKey uint64, truth int, maxScore int, relPos float64) int {
+	u := hash01(p.Name, dataset, rowKey, "score")
+	if u < p.Accuracy(dataset, relPos) {
+		return clampScore(truth, maxScore)
+	}
+	if hashN(2, p.Name, dataset, rowKey, "dir") == 0 {
+		return clampScore(truth-1, maxScore)
+	}
+	return clampScore(truth+1, maxScore)
+}
+
+func clampScore(s, maxScore int) int {
+	if s < 1 {
+		return 1
+	}
+	if s > maxScore {
+		return maxScore
+	}
+	return s
+}
+
+// FreeText synthesizes a deterministic free-form answer of roughly the given
+// token budget, for projection/summarization outputs whose content is
+// incidental to the experiments.
+func FreeText(rowKey uint64, tokens int) string {
+	if tokens <= 0 {
+		tokens = 1
+	}
+	// Every word is at most six bytes, so each word plus its leading space
+	// fits one tokenizer piece and the budget is met exactly.
+	words := []string{
+		"the", "notes", "good", "with", "points", "and", "minor",
+		"flaws", "a", "review", "says", "tone", "is", "clear",
+		"brief", "solid", "mixed", "rating", "holds", "up",
+	}
+	var sb strings.Builder
+	h := rowKey
+	for i := 0; i < tokens; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		h = h*6364136223846793005 + 1442695040888963407
+		sb.WriteString(words[h%uint64(len(words))])
+	}
+	return sb.String()
+}
+
+// hash01 maps the inputs to [0, 1).
+func hash01(parts ...interface{}) float64 {
+	return float64(hashN(1<<52, parts...)) / float64(uint64(1)<<52)
+}
+
+// hashN maps the inputs to [0, n).
+func hashN(n uint64, parts ...interface{}) uint64 {
+	var h uint64 = 1469598103934665603
+	const prime = 1099511628211
+	mix := func(b byte) { h ^= uint64(b); h *= prime }
+	for _, p := range parts {
+		for _, b := range []byte(fmt.Sprint(p)) {
+			mix(b)
+		}
+		mix(0x1f)
+	}
+	if n == 0 {
+		return 0
+	}
+	return h % n
+}

@@ -1,0 +1,140 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tokenizer"
+)
+
+func TestAnswerDeterministic(t *testing.T) {
+	for i := uint64(0); i < 50; i++ {
+		a := Llama8B.Answer("Movies", i, "Yes", []string{"Yes", "No"}, 0.5)
+		b := Llama8B.Answer("Movies", i, "Yes", []string{"Yes", "No"}, 0.5)
+		if a != b {
+			t.Fatalf("row %d nondeterministic: %q vs %q", i, a, b)
+		}
+	}
+}
+
+func TestAnswerInChoices(t *testing.T) {
+	choices := []string{"SUPPORTS", "REFUTES", "NOT ENOUGH INFO"}
+	ok := map[string]bool{}
+	for _, c := range choices {
+		ok[c] = true
+	}
+	for i := uint64(0); i < 200; i++ {
+		got := Llama8B.Answer("FEVER", i, "SUPPORTS", choices, 0.2)
+		if !ok[got] {
+			t.Fatalf("answer %q not in choices", got)
+		}
+	}
+}
+
+func TestEmpiricalAccuracyNearNominal(t *testing.T) {
+	const n = 20000
+	correct := 0
+	for i := uint64(0); i < n; i++ {
+		if Llama8B.Answer("Movies", i, "Yes", []string{"Yes", "No"}, 0.5) == "Yes" {
+			correct++
+		}
+	}
+	got := float64(correct) / n
+	want := Llama8B.Accuracy("Movies", 0.5)
+	if got < want-0.02 || got > want+0.02 {
+		t.Errorf("empirical accuracy %.3f, nominal %.3f", got, want)
+	}
+}
+
+func TestPositionEffectDirection(t *testing.T) {
+	// FEVER on 8B: claim later in the prompt => higher accuracy (the paper's
+	// +14.2% observation).
+	early := Llama8B.Accuracy("FEVER", 0.0)
+	late := Llama8B.Accuracy("FEVER", 1.0)
+	if late <= early {
+		t.Errorf("FEVER position effect inverted: %.3f vs %.3f", early, late)
+	}
+	if delta := late - early; delta < 0.10 || delta > 0.20 {
+		t.Errorf("FEVER swing = %.3f, want ≈ 0.145 (the paper's +14.2%%)", delta)
+	}
+	// Larger models are less sensitive.
+	if s70 := Llama70B.Coef["FEVER"]; s70 >= Llama8B.Coef["FEVER"] {
+		t.Errorf("70B FEVER coef %.3f not below 8B %.3f", s70, Llama8B.Coef["FEVER"])
+	}
+}
+
+func TestAccuracyClamped(t *testing.T) {
+	p := Profile{Name: "degenerate", DefaultBase: 2.0, Coef: map[string]float64{"X": -5}}
+	if a := p.Accuracy("X", 1.0); a < 0.02 || a > 0.99 {
+		t.Errorf("accuracy %f outside clamp", a)
+	}
+	if a := p.Accuracy("Y", 0.5); a != 0.99 {
+		t.Errorf("high base not clamped: %f", a)
+	}
+}
+
+func TestPositionChangesOnlyMarginalRows(t *testing.T) {
+	// The same latent draw decides both positions: rows that are correct at
+	// relPos 0 under a positive coefficient must remain correct at relPos 1.
+	flippedToWrong := 0
+	for i := uint64(0); i < 5000; i++ {
+		early := Llama8B.Answer("FEVER", i, "SUPPORTS", []string{"SUPPORTS", "REFUTES"}, 0.0)
+		late := Llama8B.Answer("FEVER", i, "SUPPORTS", []string{"SUPPORTS", "REFUTES"}, 1.0)
+		if early == "SUPPORTS" && late != "SUPPORTS" {
+			flippedToWrong++
+		}
+	}
+	if flippedToWrong != 0 {
+		t.Errorf("%d rows flipped against a positive position effect", flippedToWrong)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	for i := uint64(0); i < 500; i++ {
+		s := Llama8B.Score("Movies", i, 5, 5, 0.5)
+		if s < 1 || s > 5 {
+			t.Fatalf("score %d out of bounds", s)
+		}
+	}
+	// A wrong draw on truth=1 must not go below 1.
+	for i := uint64(0); i < 500; i++ {
+		if s := Llama8B.Score("Movies", i, 1, 5, 0.5); s < 1 {
+			t.Fatalf("score %d below 1", s)
+		}
+	}
+}
+
+func TestScoreMeanTracksTruth(t *testing.T) {
+	var sum int
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		sum += Llama8B.Score("Products", i, 4, 5, 0.5)
+	}
+	mean := float64(sum) / n
+	if mean < 3.7 || mean > 4.3 {
+		t.Errorf("score mean %.2f drifted from truth 4", mean)
+	}
+}
+
+func TestFreeTextBudget(t *testing.T) {
+	for _, want := range []int{1, 10, 50, 107} {
+		text := FreeText(42, want)
+		got := tokenizer.Count(text)
+		if got < want-2 || got > want+2 {
+			t.Errorf("FreeText(%d) = %d tokens", want, got)
+		}
+	}
+	if FreeText(0, 0) == "" {
+		t.Error("zero-budget FreeText should still emit one word")
+	}
+	if FreeText(1, 20) == FreeText(2, 20) && strings.Count(FreeText(1, 20), " ") > 3 {
+		t.Error("different rows produced identical free text")
+	}
+}
+
+func TestAnswerSingleChoiceFallsBack(t *testing.T) {
+	got := Llama8B.Answer("Movies", 7, "only", []string{"only"}, 0.5)
+	if got != "only" {
+		t.Errorf("single-choice answer = %q", got)
+	}
+}

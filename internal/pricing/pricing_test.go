@@ -1,0 +1,187 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tokenizer"
+)
+
+func seq(start, n int) []tokenizer.Token {
+	out := make([]tokenizer.Token, n)
+	for i := range out {
+		out[i] = tokenizer.Token(start + i)
+	}
+	return out
+}
+
+func TestCostArithmetic(t *testing.T) {
+	u := Usage{Prompt: 2_000_000, Cached: 1_000_000, Output: 100_000}
+	got := GPT4oMini.Cost(u)
+	// 1M fresh × 0.15 + 1M cached × 0.075 + 0.1M out × 0.60 = 0.285
+	if math.Abs(got-0.285) > 1e-9 {
+		t.Errorf("cost = %f, want 0.285", got)
+	}
+	ua := Usage{Prompt: 2_000_000, Cached: 500_000, Written: 500_000, Output: 0}
+	gota := Claude35Sonnet.Cost(ua)
+	// 1M fresh × 3 + 0.5M read × 0.30 + 0.5M write × 3.75 = 5.025
+	if math.Abs(gota-5.025) > 1e-9 {
+		t.Errorf("anthropic cost = %f, want 5.025", gota)
+	}
+}
+
+func TestOpenAIMinimumPrefix(t *testing.T) {
+	// Identical 512-token prompts: below the 1,024 minimum, nothing caches —
+	// the paper's Table 3 observation that the original FEVER ordering gets
+	// 0% cached despite a shared system prompt.
+	prompts := [][]tokenizer.Token{seq(0, 512), seq(0, 512), seq(0, 512)}
+	u, err := Simulate(GPT4oMini, prompts, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cached != 0 {
+		t.Errorf("cached %d tokens below the minimum", u.Cached)
+	}
+}
+
+func TestOpenAICachingAndGranularity(t *testing.T) {
+	// 1,500-token identical prompts: second request caches ⌊1500/128⌋×128 =
+	// 1408 tokens.
+	prompts := [][]tokenizer.Token{seq(0, 1500), seq(0, 1500)}
+	u, err := Simulate(GPT4oMini, prompts, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cached != 1408 {
+		t.Errorf("cached = %d, want 1408", u.Cached)
+	}
+	if u.Prompt != 3000 {
+		t.Errorf("prompt = %d", u.Prompt)
+	}
+}
+
+func TestOpenAIPartialPrefix(t *testing.T) {
+	a := seq(0, 2048)
+	b := append(seq(0, 1024), seq(50_000, 1024)...) // shares first 1024
+	u, err := Simulate(GPT4oMini, [][]tokenizer.Token{a, b}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Cached != 1024 {
+		t.Errorf("cached = %d, want 1024", u.Cached)
+	}
+}
+
+func TestAnthropicWriteThenRead(t *testing.T) {
+	p := seq(0, 1500)
+	u, err := Simulate(Claude35Sonnet, [][]tokenizer.Token{p, p, p}, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Written != 1024 {
+		t.Errorf("written = %d, want one 1024 write", u.Written)
+	}
+	if u.Cached != 2048 {
+		t.Errorf("cached = %d, want two 1024 reads", u.Cached)
+	}
+}
+
+func TestAnthropicShortPromptsUncached(t *testing.T) {
+	p := seq(0, 800)
+	u, err := Simulate(Claude35Sonnet, [][]tokenizer.Token{p, p}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Written != 0 || u.Cached != 0 {
+		t.Errorf("short prompts touched the cache: %+v", u)
+	}
+}
+
+func TestAnthropicDistinctPrefixesAllWrite(t *testing.T) {
+	prompts := [][]tokenizer.Token{seq(0, 1100), seq(10_000, 1100), seq(20_000, 1100)}
+	u, err := Simulate(Claude35Sonnet, prompts, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Written != 3*1024 || u.Cached != 0 {
+		t.Errorf("usage = %+v", u)
+	}
+	// Writing costs more than not caching at all — the paper's reason for
+	// conservative breakpoints.
+	noCache := Claude35Sonnet.Cost(Usage{Prompt: u.Prompt, Output: u.Output})
+	if Claude35Sonnet.Cost(u) <= noCache {
+		t.Error("all-miss cache writing should cost more than no caching")
+	}
+}
+
+func TestSharedOrderingCostsLess(t *testing.T) {
+	// Grouped identical prompts vs interleaved distinct ones.
+	shared := make([][]tokenizer.Token, 10)
+	distinct := make([][]tokenizer.Token, 10)
+	outs := make([]int, 10)
+	for i := range shared {
+		shared[i] = seq(0, 2000)
+		distinct[i] = seq(i*100_000, 2000)
+		outs[i] = 3
+	}
+	for _, book := range []Book{GPT4oMini, Claude35Sonnet} {
+		us, err := Simulate(book, shared, outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ud, err := Simulate(book, distinct, outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if book.Cost(us) >= book.Cost(ud) {
+			t.Errorf("%s: shared prompts (%.4f) not cheaper than distinct (%.4f)",
+				book.Name, book.Cost(us), book.Cost(ud))
+		}
+	}
+}
+
+func TestEstimatedSavingsMatchesTable4Shape(t *testing.T) {
+	// Paper Table 4: Movies PHR 34.6 → 85.7 yields ~31% OpenAI and ~73%
+	// Anthropic savings. Allow a few points of slack — it is an estimate.
+	oa := EstimatedSavings(GPT4oMini, 0.346, 0.857)
+	if math.Abs(oa-0.31) > 0.03 {
+		t.Errorf("OpenAI Movies savings = %.3f, want ≈ 0.31", oa)
+	}
+	an := EstimatedSavings(Claude35Sonnet, 0.346, 0.857)
+	if math.Abs(an-0.73) > 0.05 {
+		t.Errorf("Anthropic Movies savings = %.3f, want ≈ 0.73", an)
+	}
+	// BIRD: 10.4 → 84.8 gives ~39% OpenAI.
+	if got := EstimatedSavings(GPT4oMini, 0.104, 0.848); math.Abs(got-0.39) > 0.03 {
+		t.Errorf("OpenAI BIRD savings = %.3f, want ≈ 0.39", got)
+	}
+}
+
+func TestEstimatedSavingsDegenerate(t *testing.T) {
+	if s := EstimatedSavings(GPT4oMini, 0.5, 0.5); s != 0 {
+		t.Errorf("equal hit rates should save 0, got %f", s)
+	}
+	if s := EstimatedSavings(GPT4oMini, 0.2, 0.8); s <= 0 {
+		t.Errorf("higher hit rate should save, got %f", s)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(GPT4oMini, [][]tokenizer.Token{seq(0, 10)}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	bad := Book{Provider: "mystery"}
+	if _, err := Simulate(bad, nil, nil); err == nil {
+		t.Error("unknown provider accepted")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if (Usage{}).HitRate() != 0 {
+		t.Error("empty usage hit rate")
+	}
+	u := Usage{Prompt: 100, Cached: 25}
+	if u.HitRate() != 0.25 {
+		t.Errorf("hit rate = %f", u.HitRate())
+	}
+}

@@ -1,0 +1,314 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/llmsim"
+	"repro/internal/oracle"
+	"repro/internal/table"
+	"repro/internal/tokenizer"
+)
+
+// Policy selects the scheduling baseline (Sec. 6.1.3).
+type Policy string
+
+const (
+	// NoCache disables the prefix cache entirely.
+	NoCache Policy = "no-cache"
+	// CacheOriginal enables the cache but keeps the table's original row and
+	// field order.
+	CacheOriginal Policy = "cache-original"
+	// CacheGGR enables the cache and reorders with Greedy Group Recursion.
+	CacheGGR Policy = "cache-ggr"
+	// CacheBestFixed enables the cache with the best single fixed field
+	// order (the Sec. 3.2 strawman; used in ablations).
+	CacheBestFixed Policy = "cache-bestfixed"
+)
+
+// Policies lists the paper's three main baselines in presentation order.
+var Policies = []Policy{NoCache, CacheOriginal, CacheGGR}
+
+// Config parameterizes query execution.
+type Config struct {
+	Policy  Policy
+	Model   llmsim.ModelConfig
+	Cluster llmsim.Cluster
+	// Oracle decides answer content; zero value defaults to Llama8B.
+	Oracle oracle.Profile
+	// GGR overrides the solver options (nil = paper defaults over token
+	// lengths: row depth 4, col depth 2, 0.1M threshold, FDs on).
+	GGR *core.GGROptions
+	// MaxBatchSeqs/MaxBatchTokens override engine limits when positive.
+	MaxBatchSeqs   int
+	MaxBatchTokens int
+	// KVPoolBlocks overrides the cost-model-derived KV pool size when
+	// positive. Scaled-down benchmark runs shrink the pool proportionally so
+	// eviction pressure — which drives the Cache(Original) hit rates at full
+	// scale — is preserved.
+	KVPoolBlocks int64
+}
+
+func (c Config) oracle() oracle.Profile {
+	if c.Oracle.Name == "" {
+		return oracle.Llama8B
+	}
+	return c.Oracle
+}
+
+// withDefaults fills the zero value with the paper's main setup:
+// Llama-3-8B on a single L4, GGR policy.
+func (c Config) withDefaults() Config {
+	if c.Model.Name == "" {
+		c.Model = llmsim.Llama3_8B
+	}
+	if c.Cluster.Count == 0 {
+		c.Cluster = llmsim.SingleL4
+	}
+	if c.Policy == "" {
+		c.Policy = CacheGGR
+	}
+	return c
+}
+
+// tokenLen is the LenFunc used for scheduling objectives: PHC in token units
+// aligns the solver with what the KV cache stores.
+func tokenLen(v string) int { return tokenizer.Count(v) }
+
+// StageResult reports one LLM invocation stage.
+type StageResult struct {
+	Spec Spec
+	// Metrics is the serving engine's accounting (JCT, hit rate, ...).
+	Metrics llmsim.Metrics
+	// SolverSeconds is the wall-clock time spent computing the schedule.
+	SolverSeconds float64
+	// PHC is the exact prefix hit count of the schedule over the data cells.
+	PHC int64
+	// Outputs holds the model answer per source row of the stage's input
+	// table.
+	Outputs []string
+	// Rows is the stage's input size.
+	Rows int
+}
+
+// Result reports a complete benchmark query (one or two stages).
+type Result struct {
+	Stages []*StageResult
+	// JCT is the end-to-end latency (sum over stages); SolverSeconds the
+	// total scheduling time.
+	JCT           float64
+	SolverSeconds float64
+	// HitRate is the prompt-token-weighted cache hit rate across stages.
+	HitRate float64
+	// Outputs are the final stage's answers indexed by its input rows.
+	Outputs []string
+	// Passing lists source rows that passed a filter (T1/T3 first stage).
+	Passing []int
+	// Average is the AVG over scores for aggregation queries.
+	Average float64
+}
+
+// RunStage executes a single LLM invocation over tbl under the configured
+// policy and returns engine metrics plus per-row model outputs.
+func RunStage(spec Spec, tbl *table.Table, cfg Config) (*StageResult, error) {
+	cfg = cfg.withDefaults()
+	if tbl.NumRows() == 0 {
+		return &StageResult{Spec: spec, Rows: 0}, nil
+	}
+	sched, phc, solver, err := buildSchedule(tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Verify(tbl, sched); err != nil {
+		return nil, fmt.Errorf("query: schedule for %s broke semantics: %w", spec.Name, err)
+	}
+
+	tok := tokenizer.New()
+	prefix := tok.Encode(PromptPrefix(spec.UserPrompt))
+	reqs := make([]*llmsim.Request, len(sched.Rows))
+	for i, row := range sched.Rows {
+		data := tok.Encode(RowJSON(row.Cells))
+		prompt := make([]tokenizer.Token, 0, len(prefix)+len(data))
+		prompt = append(prompt, prefix...)
+		prompt = append(prompt, data...)
+		reqs[i] = &llmsim.Request{
+			ID:        row.Source,
+			Prompt:    prompt,
+			OutTokens: spec.OutTokensFor(row.Source),
+		}
+	}
+
+	eng := llmsim.New(llmsim.Config{
+		Cost:             llmsim.CostModel{Model: cfg.Model, Cluster: cfg.Cluster},
+		CacheEnabled:     cfg.Policy != NoCache,
+		MaxBatchSeqs:     cfg.MaxBatchSeqs,
+		MaxBatchTokens:   cfg.MaxBatchTokens,
+		CapacityOverride: cfg.KVPoolBlocks,
+	})
+	metrics, err := eng.Run(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("query: engine run for %s: %w", spec.Name, err)
+	}
+
+	outputs := make([]string, tbl.NumRows())
+	prof := cfg.oracle()
+	for _, row := range sched.Rows {
+		outputs[row.Source] = answerFor(spec, tbl, prof, row)
+	}
+	return &StageResult{
+		Spec:          spec,
+		Metrics:       metrics,
+		SolverSeconds: solver.Seconds(),
+		PHC:           phc,
+		Outputs:       outputs,
+		Rows:          tbl.NumRows(),
+	}, nil
+}
+
+// OracleAnswers returns the model outputs for every row of a schedule,
+// indexed by source row, without running the serving engine. The accuracy
+// experiments (Fig. 6) use this to compare orderings cheaply.
+func OracleAnswers(spec Spec, tbl *table.Table, sched *core.Schedule, prof oracle.Profile) []string {
+	out := make([]string, tbl.NumRows())
+	for _, row := range sched.Rows {
+		out[row.Source] = answerFor(spec, tbl, prof, row)
+	}
+	return out
+}
+
+// answerFor consults the oracle for one scheduled row's output.
+func answerFor(spec Spec, tbl *table.Table, prof oracle.Profile, row core.Row) string {
+	relPos := KeyFieldRelPos(row.Cells, spec.KeyField)
+	key := uint64(row.Source)
+	switch {
+	case spec.Type == Aggregation:
+		truth, err := strconv.Atoi(tbl.HiddenValue(spec.TruthHidden, row.Source))
+		if err != nil {
+			truth = 3
+		}
+		return strconv.Itoa(prof.Score(spec.Dataset, key, truth, 5, relPos))
+	case len(spec.Choices) > 0:
+		truth := tbl.HiddenValue(spec.TruthHidden, row.Source)
+		return prof.Answer(spec.Dataset, key, truth, spec.Choices, relPos)
+	default:
+		return oracle.FreeText(key, spec.OutTokensFor(row.Source))
+	}
+}
+
+// KeyFieldRelPos locates a field's relative position within a row's cell
+// order: 0 for the first field, 1 for the last, 0.5 when absent or the row
+// has a single field.
+func KeyFieldRelPos(cells []core.Cell, field string) float64 {
+	if len(cells) < 2 {
+		return 0.5
+	}
+	for i, c := range cells {
+		if c.Field == field {
+			return float64(i) / float64(len(cells)-1)
+		}
+	}
+	return 0.5
+}
+
+// buildSchedule computes the request ordering for the policy, timing the
+// solver.
+func buildSchedule(tbl *table.Table, cfg Config) (*core.Schedule, int64, time.Duration, error) {
+	start := time.Now()
+	var sched *core.Schedule
+	switch cfg.Policy {
+	case NoCache, CacheOriginal:
+		sched = core.Original(tbl)
+	case CacheBestFixed:
+		sched = core.BestFixed(tbl, tokenLen)
+	case CacheGGR, "":
+		opt := core.DefaultGGROptions(tokenLen)
+		if cfg.GGR != nil {
+			opt = *cfg.GGR
+		}
+		res := core.GGR(tbl, opt)
+		return res.Schedule, res.PHC, time.Since(start), nil
+	default:
+		return nil, 0, 0, fmt.Errorf("query: unknown policy %q", cfg.Policy)
+	}
+	elapsed := time.Since(start)
+	return sched, core.PHC(sched, tokenLen), elapsed, nil
+}
+
+// Run executes a complete benchmark query over its input table. For
+// MultiLLM queries tbl feeds the first (filter) stage and the second stage
+// runs over the passing rows; for all other types the query is one stage.
+// RAG queries expect the joined (question, contexts) table — see RunRAG.
+func Run(spec Spec, tbl *table.Table, cfg Config) (*Result, error) {
+	first, err := RunStage(spec, tbl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stages: []*StageResult{first}}
+
+	switch spec.Type {
+	case Filter, MultiLLM:
+		pass := spec.FilterPass
+		if pass == "" && len(spec.Choices) > 0 {
+			pass = spec.Choices[0]
+		}
+		for i, out := range first.Outputs {
+			if out == pass {
+				res.Passing = append(res.Passing, i)
+			}
+		}
+	case Aggregation:
+		var sum, n float64
+		for _, out := range first.Outputs {
+			if v, err := strconv.ParseFloat(out, 64); err == nil {
+				sum += v
+				n++
+			}
+		}
+		if n > 0 {
+			res.Average = sum / n
+		}
+	}
+
+	if spec.Type == MultiLLM {
+		second, err := ByName(spec.Second)
+		if err != nil {
+			return nil, err
+		}
+		sub := tbl.FilterRows(res.Passing)
+		sr, err := RunStage(second, sub, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Stages = append(res.Stages, sr)
+	}
+
+	last := res.Stages[len(res.Stages)-1]
+	res.Outputs = last.Outputs
+	var prompt, matched int64
+	for _, st := range res.Stages {
+		res.JCT += st.Metrics.JCT
+		res.SolverSeconds += st.SolverSeconds
+		prompt += st.Metrics.PromptTokens
+		matched += st.Metrics.MatchedTokens
+	}
+	if prompt > 0 {
+		res.HitRate = float64(matched) / float64(prompt)
+	}
+	return res, nil
+}
+
+// RunRAG builds the retrieval-joined table for a RAG dataset and executes
+// its query.
+func RunRAG(spec Spec, d *datagen.RAG, cfg Config) (*Result, error) {
+	if spec.Type != RAGQA {
+		return nil, fmt.Errorf("query: %s is not a RAG query", spec.Name)
+	}
+	tbl, err := BuildRAGTable(d)
+	if err != nil {
+		return nil, err
+	}
+	return Run(spec, tbl, cfg)
+}

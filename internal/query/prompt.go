@@ -1,0 +1,54 @@
+// Package query implements the LLM-query layer of the reproduction: the
+// generic LLM operator over relational tables (Sec. 3.1), prompt
+// construction (Sec. 5 / Appendix C), the five query types of the benchmark
+// suite (Sec. 6.1.2), and the executor that wires reordering schedules into
+// the serving simulator.
+package query
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// SystemPrompt is the shared instruction prefix (Appendix C). Because it is
+// identical across every request of a query, it is the floor of each
+// baseline's prefix hit rate.
+const SystemPrompt = "You are a data analyst. Use the provided JSON data to answer the user query " +
+	"based on the specified fields. Respond with only the answer, no extra formatting."
+
+// PromptPrefix renders the static part of every request of a query: system
+// prompt plus the user's question. It ends at a hard token boundary so the
+// per-row JSON payload never merges into the shared prefix.
+func PromptPrefix(userPrompt string) string {
+	var sb strings.Builder
+	sb.WriteString(SystemPrompt)
+	sb.WriteString("\nAnswer the below query:\n")
+	sb.WriteString(userPrompt)
+	sb.WriteString("\nGiven the following data:\n")
+	return sb.String()
+}
+
+// RowJSON serializes a scheduled row as a JSON object whose keys appear in
+// the schedule's field order (Sec. 5: JSON encoding ties field names to
+// values for the LLM; key order is what the reordering algorithms optimize).
+func RowJSON(cells []core.Cell) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(strconv.Quote(c.Field))
+		sb.WriteString(": ")
+		sb.WriteString(strconv.Quote(c.Value))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// BuildPrompt assembles the full request text for one scheduled row.
+func BuildPrompt(userPrompt string, cells []core.Cell) string {
+	return PromptPrefix(userPrompt) + RowJSON(cells)
+}

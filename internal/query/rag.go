@@ -1,0 +1,66 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/table"
+	"repro/internal/vecdb"
+)
+
+// BuildRAGTable materializes a RAG query's input relation: for every
+// question it retrieves the top-k corpus passages by embedding similarity
+// and emits a row (question, ctx1..ctxk) in retrieval-score order — the
+// "VectorDB.search(question, k)" of the paper's T5 example. Hidden columns
+// (labels, topics) carry over from the question table.
+//
+// Because questions about one topic retrieve overlapping context sets in
+// differing orders, the resulting table is exactly the reordering
+// opportunity Sec. 6.2 describes for RAG: GGR aligns shared contexts into
+// prefixes across rows.
+func BuildRAGTable(d *datagen.RAG) (*table.Table, error) {
+	emb := vecdb.NewEmbedder(256)
+	ix := vecdb.NewIndex(emb)
+	ix.AddAll(d.Corpus)
+
+	ctxName := "context"
+	if d.QuestionField == "claim" {
+		ctxName = "evidence"
+	}
+	cols := []string{d.QuestionField}
+	for i := 1; i <= d.K; i++ {
+		cols = append(cols, fmt.Sprintf("%s%d", ctxName, i))
+	}
+	out := table.New(cols...)
+
+	qIdx, ok := d.Questions.ColIndex(d.QuestionField)
+	if !ok {
+		return nil, fmt.Errorf("query: question table missing column %q", d.QuestionField)
+	}
+	for i := 0; i < d.Questions.NumRows(); i++ {
+		q := d.Questions.Cell(i, qIdx)
+		res, err := ix.Search(q, d.K)
+		if err != nil {
+			return nil, fmt.Errorf("query: retrieval for row %d: %w", i, err)
+		}
+		cells := make([]string, 0, 1+d.K)
+		cells = append(cells, q)
+		for _, r := range res {
+			cells = append(cells, d.Corpus[r.ID])
+		}
+		for len(cells) < 1+d.K {
+			cells = append(cells, "") // corpus smaller than k (tiny scales)
+		}
+		if err := out.AppendRow(cells...); err != nil {
+			return nil, err
+		}
+	}
+	for _, h := range []string{"label", "topic"} {
+		if vals, ok := d.Questions.Hidden(h); ok {
+			if err := out.SetHidden(h, vals); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

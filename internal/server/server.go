@@ -1,0 +1,287 @@
+// Package server exposes the reordering optimizer as an HTTP service, the
+// integration path the paper targets ("can be easily applied to existing
+// analytics systems and serving platforms"): an analytics engine POSTs the
+// rows and fields an LLM operator is about to send, and receives the
+// cache-maximizing request schedule plus the expected savings.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llmsim"
+	"repro/internal/pricing"
+	"repro/internal/query"
+	"repro/internal/table"
+	"repro/internal/tokenizer"
+)
+
+// TableJSON is the wire form of an input relation.
+type TableJSON struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// FDs lists bidirectional functional-dependency groups.
+	FDs [][]string `json:"fds,omitempty"`
+}
+
+// decode materializes the wire table.
+func (tj *TableJSON) decode() (*table.Table, error) {
+	if len(tj.Columns) == 0 {
+		return nil, fmt.Errorf("table needs at least one column")
+	}
+	seen := map[string]bool{}
+	for _, c := range tj.Columns {
+		if c == "" || seen[c] {
+			return nil, fmt.Errorf("invalid or duplicate column %q", c)
+		}
+		seen[c] = true
+	}
+	t := table.New(tj.Columns...)
+	for i, r := range tj.Rows {
+		if err := t.AppendRow(r...); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	fds := table.NewFDSet()
+	for _, g := range tj.FDs {
+		fds.AddGroup(g...)
+	}
+	if err := t.SetFDs(fds); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReorderRequest is the /v1/reorder body.
+type ReorderRequest struct {
+	Table TableJSON `json:"table"`
+	// Algorithm: "ggr" (default), "ophr", or "bestfixed".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Exhaustive disables GGR early stopping.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+}
+
+// ReorderResponse carries the schedule in serving order.
+type ReorderResponse struct {
+	// Order lists source row indices in serving order; FieldOrders the
+	// per-row field permutation (column names) aligned with Order.
+	Order       [][2]interface{} `json:"-"`
+	Rows        []ScheduledRow   `json:"rows"`
+	PHC         int64            `json:"phc"`
+	HitRate     float64          `json:"hitRate"`
+	SolverMs    float64          `json:"solverMs"`
+	RowCount    int              `json:"rowCount"`
+	ColumnCount int              `json:"columnCount"`
+}
+
+// ScheduledRow is one request of the schedule.
+type ScheduledRow struct {
+	Source int      `json:"source"`
+	Fields []string `json:"fields"`
+}
+
+// EstimateRequest is the /v1/estimate body.
+type EstimateRequest struct {
+	// Provider: "openai", "anthropic", or "gemini".
+	Provider    string  `json:"provider"`
+	HitOriginal float64 `json:"hitOriginal"`
+	HitGGR      float64 `json:"hitGGR"`
+}
+
+// EstimateResponse reports the relative input-cost reduction.
+type EstimateResponse struct {
+	Book    string  `json:"book"`
+	Savings float64 `json:"savings"`
+}
+
+// SimulateRequest is the /v1/simulate body: run a prompt over the table on
+// the serving simulator under a policy.
+type SimulateRequest struct {
+	Table  TableJSON `json:"table"`
+	Prompt string    `json:"prompt"`
+	// Policy: "no-cache", "cache-original", "cache-ggr" (default).
+	Policy string `json:"policy,omitempty"`
+	// OutTokens is the per-row output budget (default 8).
+	OutTokens int `json:"outTokens,omitempty"`
+}
+
+// SimulateResponse reports engine metrics for the run.
+type SimulateResponse struct {
+	JCT           float64 `json:"jctSeconds"`
+	HitRate       float64 `json:"hitRate"`
+	PromptTokens  int64   `json:"promptTokens"`
+	MatchedTokens int64   `json:"matchedTokens"`
+	MaxBatch      int     `json:"maxBatch"`
+	SolverMs      float64 `json:"solverMs"`
+}
+
+// New builds the service mux.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealth)
+	mux.HandleFunc("/v1/reorder", handleReorder)
+	mux.HandleFunc("/v1/estimate", handleEstimate)
+	mux.HandleFunc("/v1/simulate", handleSimulate)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleReorder(w http.ResponseWriter, r *http.Request) {
+	var req ReorderRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	t, err := req.Table.decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	lenOf := func(v string) int { return tokenizer.Count(v) }
+	start := time.Now()
+	var res *core.Result
+	switch req.Algorithm {
+	case "", "ggr":
+		opt := core.DefaultGGROptions(lenOf)
+		if req.Exhaustive {
+			opt = core.ExhaustiveGGROptions(lenOf)
+		}
+		res = core.GGR(t, opt)
+	case "ophr":
+		res, err = core.OPHR(t, core.OPHROptions{LenOf: lenOf})
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	case "bestfixed":
+		s := core.BestFixed(t, lenOf)
+		res = &core.Result{Schedule: s, PHC: core.PHC(s, lenOf)}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
+		return
+	}
+	solver := time.Since(start)
+	if err := core.Verify(t, res.Schedule); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := ReorderResponse{
+		PHC:         res.PHC,
+		HitRate:     core.Hits(res.Schedule, lenOf).Rate(),
+		SolverMs:    float64(solver.Microseconds()) / 1000,
+		RowCount:    t.NumRows(),
+		ColumnCount: t.NumCols(),
+	}
+	for _, row := range res.Schedule.Rows {
+		fields := make([]string, len(row.Cells))
+		for i, c := range row.Cells {
+			fields[i] = c.Field
+		}
+		out.Rows = append(out.Rows, ScheduledRow{Source: row.Source, Fields: fields})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.HitOriginal < 0 || req.HitOriginal > 1 || req.HitGGR < 0 || req.HitGGR > 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("hit rates must be in [0,1]"))
+		return
+	}
+	var book pricing.Book
+	switch pricing.Provider(req.Provider) {
+	case pricing.OpenAI:
+		book = pricing.GPT4oMini
+	case pricing.Anthropic:
+		book = pricing.Claude35Sonnet
+	case pricing.Gemini:
+		book = pricing.GeminiFlash15
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown provider %q", req.Provider))
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Book:    book.Name,
+		Savings: pricing.EstimatedSavings(book, req.HitOriginal, req.HitGGR),
+	})
+}
+
+func handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	t, err := req.Table.decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if t.NumRows() == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("table has no rows"))
+		return
+	}
+	if req.Prompt == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("prompt is required"))
+		return
+	}
+	policy := query.Policy(req.Policy)
+	if req.Policy == "" {
+		policy = query.CacheGGR
+	}
+	out := req.OutTokens
+	if out <= 0 {
+		out = 8
+	}
+	spec := query.Spec{
+		Name: "http-simulate", Dataset: "http", Type: query.Projection,
+		UserPrompt: req.Prompt, OutTokens: out,
+	}
+	st, err := query.RunStage(spec, t, query.Config{
+		Policy: policy, Model: llmsim.Llama3_8B, Cluster: llmsim.SingleL4,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		JCT:           st.Metrics.JCT,
+		HitRate:       st.Metrics.HitRate(),
+		PromptTokens:  st.Metrics.PromptTokens,
+		MatchedTokens: st.Metrics.MatchedTokens,
+		MaxBatch:      st.Metrics.MaxRunning,
+		SolverMs:      st.SolverSeconds * 1000,
+	})
+}
+
+// readJSON enforces POST + a body-size cap and decodes into dst.
+func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func post(t *testing.T, h http.Handler, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var out T
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("decode response %q: %v", rec.Body.String(), err)
+	}
+	return out
+}
+
+func sampleTable() TableJSON {
+	return TableJSON{
+		Columns: []string{"review", "product", "description"},
+		Rows: [][]string{
+			{"great value", "Widget", "a compact widget with a steel finish"},
+			{"broke fast", "Gadget", "a rechargeable gadget for home use"},
+			{"very sturdy", "Widget", "a compact widget with a steel finish"},
+			{"meh quality", "Gadget", "a rechargeable gadget for home use"},
+		},
+		FDs: [][]string{{"product", "description"}},
+	}
+}
+
+func TestHealth(t *testing.T) {
+	h := New()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestReorderEndpoint(t *testing.T) {
+	rec := post(t, New(), "/v1/reorder", ReorderRequest{Table: sampleTable()})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	res := decode[ReorderResponse](t, rec)
+	if res.RowCount != 4 || res.ColumnCount != 3 {
+		t.Errorf("shape = %d x %d", res.RowCount, res.ColumnCount)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("schedule has %d rows", len(res.Rows))
+	}
+	if res.PHC <= 0 {
+		t.Errorf("PHC = %d", res.PHC)
+	}
+	// Every row's field list is a permutation of the columns.
+	for _, row := range res.Rows {
+		if len(row.Fields) != 3 {
+			t.Fatalf("row fields = %v", row.Fields)
+		}
+	}
+	// The shared (product, description) pair should lead the scheduled rows.
+	if res.Rows[0].Fields[0] == "review" {
+		t.Errorf("unique review field leads the prompt: %v", res.Rows[0].Fields)
+	}
+}
+
+func TestReorderAlgorithms(t *testing.T) {
+	for _, alg := range []string{"ggr", "ophr", "bestfixed"} {
+		rec := post(t, New(), "/v1/reorder", ReorderRequest{Table: sampleTable(), Algorithm: alg})
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: status %d: %s", alg, rec.Code, rec.Body.String())
+		}
+	}
+	rec := post(t, New(), "/v1/reorder", ReorderRequest{Table: sampleTable(), Algorithm: "bogus"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bogus algorithm: status %d", rec.Code)
+	}
+}
+
+func TestReorderValidation(t *testing.T) {
+	cases := []TableJSON{
+		{},                            // no columns
+		{Columns: []string{"a", "a"}}, // duplicate
+		{Columns: []string{""}},       // empty name
+		{Columns: []string{"a"}, Rows: [][]string{{"1", "2"}}}, // ragged
+	}
+	for i, tj := range cases {
+		rec := post(t, New(), "/v1/reorder", ReorderRequest{Table: tj})
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d", i, rec.Code)
+		}
+	}
+}
+
+func TestReorderMethodGuard(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/v1/reorder", nil)
+	rec := httptest.NewRecorder()
+	New().ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET allowed: %d", rec.Code)
+	}
+}
+
+func TestEstimateEndpoint(t *testing.T) {
+	for _, provider := range []string{"openai", "anthropic", "gemini"} {
+		rec := post(t, New(), "/v1/estimate", EstimateRequest{
+			Provider: provider, HitOriginal: 0.1, HitGGR: 0.8,
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", provider, rec.Code, rec.Body.String())
+		}
+		res := decode[EstimateResponse](t, rec)
+		if res.Savings <= 0 {
+			t.Errorf("%s: savings = %f", provider, res.Savings)
+		}
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	rec := post(t, New(), "/v1/estimate", EstimateRequest{Provider: "nope", HitOriginal: 0.1, HitGGR: 0.8})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown provider: %d", rec.Code)
+	}
+	rec = post(t, New(), "/v1/estimate", EstimateRequest{Provider: "openai", HitOriginal: -1, HitGGR: 2})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("out-of-range rates: %d", rec.Code)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	h := New()
+	run := func(policy string) SimulateResponse {
+		rec := post(t, h, "/v1/simulate", SimulateRequest{
+			Table: sampleTable(), Prompt: "Summarize the product", Policy: policy,
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", policy, rec.Code, rec.Body.String())
+		}
+		return decode[SimulateResponse](t, rec)
+	}
+	ggr := run("cache-ggr")
+	none := run("no-cache")
+	if ggr.JCT <= 0 || none.JCT <= 0 {
+		t.Fatal("no serving time")
+	}
+	if ggr.JCT > none.JCT {
+		t.Errorf("GGR %.2fs slower than no-cache %.2fs", ggr.JCT, none.JCT)
+	}
+	if ggr.HitRate <= 0 {
+		t.Error("GGR produced no hits")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	h := New()
+	rec := post(t, h, "/v1/simulate", SimulateRequest{Table: sampleTable()})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("missing prompt: %d", rec.Code)
+	}
+	rec = post(t, h, "/v1/simulate", SimulateRequest{
+		Table:  TableJSON{Columns: []string{"a"}},
+		Prompt: "p",
+	})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty table: %d", rec.Code)
+	}
+	rec = post(t, h, "/v1/simulate", SimulateRequest{Table: sampleTable(), Prompt: "p", Policy: "bogus"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bogus policy: %d", rec.Code)
+	}
+}
+
+func TestRejectsUnknownFields(t *testing.T) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/estimate",
+		bytes.NewReader([]byte(`{"provider":"openai","hitOriginal":0.1,"hitGGR":0.5,"bogus":1}`)))
+	rec := httptest.NewRecorder()
+	New().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown field accepted: %d", rec.Code)
+	}
+}

@@ -1,0 +1,98 @@
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a parsed LLM-SQL statement:
+//
+//	SELECT <items> FROM <table> [WHERE LLM(...) {=|<>} 'literal']
+type Query struct {
+	Select []SelectItem
+	From   string
+	Where  *Predicate
+}
+
+// SelectItem is one output column: '*', a plain column, an LLM call, or an
+// AVG-aggregated LLM call.
+type SelectItem struct {
+	Star   bool
+	Column string
+	LLM    *LLMCall
+	Avg    bool
+	Alias  string
+}
+
+// LLMCall is the generic LLM operator of Sec. 3.1: a prompt plus field
+// expressions ({T.a, T.b} or {T.*}) whose serialization order the optimizer
+// is free to choose.
+type LLMCall struct {
+	Prompt    string
+	Fields    []string
+	AllFields bool
+}
+
+// Predicate is a WHERE clause comparing an LLM call's output to a literal.
+type Predicate struct {
+	Call    LLMCall
+	Negated bool // true for <> / !=
+	Literal string
+}
+
+// String renders the query back to SQL (normalized), useful in errors and
+// logs.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, s := range q.Select {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(s.String())
+	}
+	fmt.Fprintf(&sb, " FROM %s", q.From)
+	if q.Where != nil {
+		op := "="
+		if q.Where.Negated {
+			op = "<>"
+		}
+		fmt.Fprintf(&sb, " WHERE %s %s '%s'", q.Where.Call.String(), op,
+			strings.ReplaceAll(q.Where.Literal, "'", "''"))
+	}
+	return sb.String()
+}
+
+func (s SelectItem) String() string {
+	var base string
+	switch {
+	case s.Star:
+		return "*"
+	case s.Avg:
+		base = fmt.Sprintf("AVG(%s)", s.LLM.String())
+	case s.LLM != nil:
+		base = s.LLM.String()
+	default:
+		base = s.Column
+	}
+	if s.Alias != "" {
+		return base + " AS " + s.Alias
+	}
+	return base
+}
+
+func (c LLMCall) String() string {
+	var sb strings.Builder
+	sb.WriteString("LLM('")
+	sb.WriteString(strings.ReplaceAll(c.Prompt, "'", "''"))
+	sb.WriteString("'")
+	if c.AllFields {
+		sb.WriteString(", *")
+	}
+	for _, f := range c.Fields {
+		sb.WriteString(", ")
+		sb.WriteString(f)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

@@ -1,0 +1,390 @@
+package sqlfront
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// DB is a registry of named tables that LLM-SQL statements run against.
+type DB struct {
+	tables map[string]*table.Table
+}
+
+// NewDB returns an empty registry.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*table.Table)}
+}
+
+// Register makes t queryable under name (case-sensitive, last write wins).
+func (db *DB) Register(name string, t *table.Table) {
+	db.tables[name] = t
+}
+
+// ExecConfig extends the query execution config with output-length defaults
+// for ad-hoc statements (benchmark specs carry their own).
+type ExecConfig struct {
+	query.Config
+	// FilterOutTokens / ProjectionOutTokens / AggOutTokens default to
+	// 2 / 40 / 2 — the regimes of Table 1.
+	FilterOutTokens     int
+	ProjectionOutTokens int
+	AggOutTokens        int
+}
+
+func (c ExecConfig) filterOut() int {
+	if c.FilterOutTokens > 0 {
+		return c.FilterOutTokens
+	}
+	return 2
+}
+
+func (c ExecConfig) projOut() int {
+	if c.ProjectionOutTokens > 0 {
+		return c.ProjectionOutTokens
+	}
+	return 40
+}
+
+func (c ExecConfig) aggOut() int {
+	if c.AggOutTokens > 0 {
+		return c.AggOutTokens
+	}
+	return 2
+}
+
+// Result is an executed statement's output relation plus serving statistics.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	// JCT is total virtual serving time over all LLM stages; HitRate the
+	// prompt-token-weighted prefix cache hit rate; SolverSeconds total
+	// reordering time; LLMCalls the number of model invocations.
+	JCT           float64
+	HitRate       float64
+	SolverSeconds float64
+	LLMCalls      int
+	Stages        int
+}
+
+// Exec parses and runs one LLM-SQL statement. Every LLM stage is scheduled
+// under cfg.Policy, so switching the policy (no-cache / original / GGR)
+// changes only performance, never results.
+func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	base, ok := db.tables[q.From]
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown table %q", q.From)
+	}
+	if err := validate(q, base); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	stageSeq := 0
+	var promptTok, matchedTok int64
+	runStage := func(spec query.Spec, tbl *table.Table) (*query.StageResult, error) {
+		st, err := query.RunStage(spec, tbl, cfg.Config)
+		if err != nil {
+			return nil, err
+		}
+		stageSeq++
+		res.Stages++
+		res.JCT += st.Metrics.JCT
+		res.SolverSeconds += st.SolverSeconds
+		res.LLMCalls += st.Rows
+		promptTok += st.Metrics.PromptTokens
+		matchedTok += st.Metrics.MatchedTokens
+		return st, nil
+	}
+
+	// WHERE: one filter stage over the predicate's fields.
+	working := base
+	if q.Where != nil {
+		proj, err := projectCall(base, q.Where.Call)
+		if err != nil {
+			return nil, err
+		}
+		choices, truthCol := filterChoices(proj, q.Where.Literal)
+		spec := query.Spec{
+			Name:        fmt.Sprintf("sql-where-%d", stageSeq),
+			Dataset:     q.From,
+			Type:        query.Filter,
+			UserPrompt:  q.Where.Call.Prompt,
+			OutTokens:   cfg.filterOut(),
+			KeyField:    keyField(proj, q.Where.Call),
+			Choices:     choices,
+			TruthHidden: truthCol,
+		}
+		st, err := runStage(spec, proj)
+		if err != nil {
+			return nil, err
+		}
+		var passing []int
+		for i, out := range st.Outputs {
+			if (out == q.Where.Literal) != q.Where.Negated {
+				passing = append(passing, i)
+			}
+		}
+		working = base.FilterRows(passing)
+	}
+
+	// SELECT: aggregates collapse to one row; otherwise one output row per
+	// surviving input row.
+	if hasAggregate(q) {
+		return db.execAggregates(q, working, cfg, res, runStage, &promptTok, &matchedTok)
+	}
+	return db.execRowwise(q, working, cfg, res, runStage, &promptTok, &matchedTok)
+}
+
+// execRowwise evaluates plain columns and per-row LLM projections.
+func (db *DB) execRowwise(q *Query, working *table.Table, cfg ExecConfig, res *Result,
+	runStage func(query.Spec, *table.Table) (*query.StageResult, error), promptTok, matchedTok *int64) (*Result, error) {
+
+	type colSource struct {
+		name    string
+		static  int      // column index into working, or -1
+		outputs []string // LLM outputs when static < 0
+	}
+	var sources []colSource
+	llmSeq := 0
+	for _, item := range q.Select {
+		switch {
+		case item.Star:
+			for ci, c := range working.Columns() {
+				sources = append(sources, colSource{name: c, static: ci})
+			}
+		case item.LLM == nil:
+			ci, _ := working.ColIndex(item.Column)
+			sources = append(sources, colSource{name: aliasOr(item, item.Column), static: ci})
+		default:
+			proj, err := projectCall(working, *item.LLM)
+			if err != nil {
+				return nil, err
+			}
+			llmSeq++
+			spec := query.Spec{
+				Name:       fmt.Sprintf("sql-select-%d", llmSeq),
+				Dataset:    q.From,
+				Type:       query.Projection,
+				UserPrompt: item.LLM.Prompt,
+				OutTokens:  cfg.projOut(),
+				KeyField:   keyField(proj, *item.LLM),
+			}
+			st, err := runStage(spec, proj)
+			if err != nil {
+				return nil, err
+			}
+			sources = append(sources, colSource{
+				name:    aliasOr(item, fmt.Sprintf("llm_%d", llmSeq)),
+				static:  -1,
+				outputs: st.Outputs,
+			})
+		}
+	}
+
+	for _, s := range sources {
+		res.Columns = append(res.Columns, s.name)
+	}
+	for i := 0; i < working.NumRows(); i++ {
+		row := make([]string, len(sources))
+		for j, s := range sources {
+			if s.static >= 0 {
+				row[j] = working.Cell(i, s.static)
+			} else if i < len(s.outputs) {
+				row[j] = s.outputs[i]
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	finishStats(res, *promptTok, *matchedTok)
+	return res, nil
+}
+
+// execAggregates evaluates AVG(LLM(...)) items into a single result row.
+func (db *DB) execAggregates(q *Query, working *table.Table, cfg ExecConfig, res *Result,
+	runStage func(query.Spec, *table.Table) (*query.StageResult, error), promptTok, matchedTok *int64) (*Result, error) {
+
+	var row []string
+	llmSeq := 0
+	for _, item := range q.Select {
+		if !item.Avg {
+			return nil, fmt.Errorf("sql: cannot mix aggregate and non-aggregate select items without GROUP BY")
+		}
+		proj, err := projectCall(working, *item.LLM)
+		if err != nil {
+			return nil, err
+		}
+		llmSeq++
+		truthCol := "score"
+		if _, ok := proj.Hidden("score"); !ok {
+			truthCol = synthesizeScores(proj)
+		}
+		spec := query.Spec{
+			Name:        fmt.Sprintf("sql-avg-%d", llmSeq),
+			Dataset:     q.From,
+			Type:        query.Aggregation,
+			UserPrompt:  item.LLM.Prompt,
+			OutTokens:   cfg.aggOut(),
+			KeyField:    keyField(proj, *item.LLM),
+			TruthHidden: truthCol,
+		}
+		st, err := runStage(spec, proj)
+		if err != nil {
+			return nil, err
+		}
+		var sum, n float64
+		for _, out := range st.Outputs {
+			if v, err := strconv.ParseFloat(out, 64); err == nil {
+				sum += v
+				n++
+			}
+		}
+		avg := 0.0
+		if n > 0 {
+			avg = sum / n
+		}
+		res.Columns = append(res.Columns, aliasOr(item, fmt.Sprintf("avg_%d", llmSeq)))
+		row = append(row, strconv.FormatFloat(avg, 'f', 3, 64))
+	}
+	res.Rows = [][]string{row}
+	finishStats(res, *promptTok, *matchedTok)
+	return res, nil
+}
+
+func finishStats(res *Result, promptTok, matchedTok int64) {
+	if promptTok > 0 {
+		res.HitRate = float64(matchedTok) / float64(promptTok)
+	}
+}
+
+// validate checks column references ahead of execution.
+func validate(q *Query, t *table.Table) error {
+	checkCall := func(c LLMCall) error {
+		for _, f := range c.Fields {
+			if _, ok := t.ColIndex(f); !ok {
+				return fmt.Errorf("sql: unknown column %q in LLM call", f)
+			}
+		}
+		return nil
+	}
+	for _, item := range q.Select {
+		if item.LLM != nil {
+			if err := checkCall(*item.LLM); err != nil {
+				return err
+			}
+		} else if !item.Star {
+			if _, ok := t.ColIndex(item.Column); !ok {
+				return fmt.Errorf("sql: unknown column %q", item.Column)
+			}
+		}
+	}
+	if q.Where != nil {
+		if err := checkCall(q.Where.Call); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hasAggregate(q *Query) bool {
+	for _, item := range q.Select {
+		if item.Avg {
+			return true
+		}
+	}
+	return false
+}
+
+func aliasOr(item SelectItem, def string) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	return def
+}
+
+// projectCall restricts the table to the call's field list (or keeps all
+// fields for {T.*}); hidden columns and restricted FDs carry over. The
+// result is always a fresh table so stages may attach synthetic truth
+// columns without mutating the registered relation.
+func projectCall(t *table.Table, c LLMCall) (*table.Table, error) {
+	if c.AllFields {
+		return t.Select(t.Columns()...)
+	}
+	return t.Select(c.Fields...)
+}
+
+// keyField picks the field the oracle's position model watches: the first
+// listed field (the paper's examples put the semantic key first).
+func keyField(t *table.Table, c LLMCall) string {
+	if len(c.Fields) > 0 {
+		return c.Fields[0]
+	}
+	cols := t.Columns()
+	if len(cols) > 0 {
+		return cols[0]
+	}
+	return ""
+}
+
+// filterChoices determines the answer alphabet for an ad-hoc filter. When
+// the table carries ground-truth labels containing the literal, the oracle
+// answers from them; otherwise a synthetic truth column is attached with a
+// deterministic per-row coin between the literal and its complement.
+func filterChoices(t *table.Table, literal string) (choices []string, truthCol string) {
+	if labels, ok := t.Hidden("label"); ok {
+		distinct := map[string]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		if distinct[literal] {
+			for l := range distinct {
+				choices = append(choices, l)
+			}
+			sort.Strings(choices)
+			return choices, "label"
+		}
+	}
+	choices = []string{literal, "NOT " + literal}
+	vals := make([]string, t.NumRows())
+	for i := range vals {
+		if splitmix(uint64(i)*2654435761+uint64(len(literal)))%2 == 0 {
+			vals[i] = choices[0]
+		} else {
+			vals[i] = choices[1]
+		}
+	}
+	const col = "__sql_truth"
+	if err := t.SetHidden(col, vals); err != nil {
+		// Unreachable: vals matches the row count by construction.
+		panic(err)
+	}
+	return choices, col
+}
+
+// synthesizeScores attaches a deterministic 1..5 ground-truth score column
+// for ad-hoc aggregates over tables without one.
+func synthesizeScores(t *table.Table) string {
+	vals := make([]string, t.NumRows())
+	for i := range vals {
+		vals[i] = strconv.Itoa(1 + int(splitmix(uint64(i)+77)%5))
+	}
+	const col = "__sql_score"
+	if err := t.SetHidden(col, vals); err != nil {
+		panic(err)
+	}
+	return col
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,202 @@
+// Package sqlfront implements the SQL surface of the paper's interface: a
+// lexer, parser, and executor for the LLM-query dialect its examples use —
+// SELECT lists mixing plain columns, LLM('prompt', fields...) calls and
+// AVG(LLM(...)) aggregates, with WHERE LLM(...) = 'literal' predicates.
+// Queries compile onto the query package's operator pipeline, so every SQL
+// statement benefits from request reordering transparently.
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+	tokDot
+	tokEq
+	tokNeq
+	tokKeyword
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string literal"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokStar:
+		return "'*'"
+	case tokDot:
+		return "'.'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'<>'"
+	case tokKeyword:
+		return "keyword"
+	}
+	return "unknown token"
+}
+
+// keywords of the dialect (case-insensitive). LLM and AVG are recognized as
+// keywords so the parser can dispatch without lookahead.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AS": true,
+	"AVG": true, "LLM": true, "AND": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keyword text is upper-cased; strings are unquoted
+	pos  int    // byte offset for error messages
+}
+
+type lexer struct {
+	src string
+	i   int
+}
+
+// lex tokenizes the whole input eagerly; LLM queries are short.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.i < len(l.src) && isSpace(l.src[l.i]) {
+		l.i++
+	}
+	if l.i >= len(l.src) {
+		return token{kind: tokEOF, pos: l.i}, nil
+	}
+	start := l.i
+	c := l.src[l.i]
+	switch {
+	case c == '(':
+		l.i++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.i++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.i++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '*':
+		l.i++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '.':
+		l.i++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == '=':
+		l.i++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case c == '<':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '>' {
+			l.i += 2
+			return token{kind: tokNeq, text: "<>", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected '<' at offset %d (only '<>' is supported)", start)
+	case c == '!':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
+			l.i += 2
+			return token{kind: tokNeq, text: "!=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected '!' at offset %d (did you mean '!=')", start)
+	case c == '\'':
+		return l.stringLit()
+	case c == '"':
+		return l.quotedIdent()
+	case isIdentStart(c):
+		return l.ident()
+	}
+	return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+// stringLit scans a single-quoted literal with ” as the escape for a quote.
+func (l *lexer) stringLit() (token, error) {
+	start := l.i
+	l.i++ // opening quote
+	var sb strings.Builder
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		if c == '\'' {
+			if l.i+1 < len(l.src) && l.src[l.i+1] == '\'' {
+				sb.WriteByte('\'')
+				l.i += 2
+				continue
+			}
+			l.i++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.i++
+	}
+	return token{}, fmt.Errorf("sql: unterminated string starting at offset %d", start)
+}
+
+// quotedIdent scans a double-quoted identifier (for columns like
+// "beer/beerId" whose bare form would not lex).
+func (l *lexer) quotedIdent() (token, error) {
+	start := l.i
+	l.i++
+	end := strings.IndexByte(l.src[l.i:], '"')
+	if end < 0 {
+		return token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+	}
+	text := l.src[l.i : l.i+end]
+	l.i += end + 1
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+func (l *lexer) ident() (token, error) {
+	start := l.i
+	for l.i < len(l.src) && isIdentPart(l.src[l.i]) {
+		l.i++
+	}
+	text := l.src[start:l.i]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return token{kind: tokKeyword, text: upper, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// isIdentPart additionally admits '/' and digits so raw RateBeer-style
+// column names (review/overall) lex as single identifiers.
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c == '/' || (c >= '0' && c <= '9')
+}

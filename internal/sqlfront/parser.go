@@ -1,0 +1,222 @@
+package sqlfront
+
+import (
+	"fmt"
+)
+
+// Parse compiles one LLM-SQL statement into its AST.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errf("trailing input after query")
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token          { return p.toks[p.i] }
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == kw
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if !p.at(k) {
+		return token{}, p.errf("expected %s, found %s %q", k, p.cur().kind, p.cur().text)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s, found %s %q", kw, p.cur().kind, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// query := SELECT selectList FROM ident [WHERE predicate]
+func (p *parser) query() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	items, err := p.selectList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Select: items, From: from.text}
+	if p.atKeyword("WHERE") {
+		p.advance()
+		pred, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = pred
+	}
+	return q, nil
+}
+
+func (p *parser) selectList() ([]SelectItem, error) {
+	var items []SelectItem
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if !p.at(tokComma) {
+			return items, nil
+		}
+		p.advance()
+	}
+}
+
+// selectItem := '*' | AVG '(' llm ')' [AS ident] | llm [AS ident] | ident [AS ident]
+func (p *parser) selectItem() (SelectItem, error) {
+	switch {
+	case p.at(tokStar):
+		p.advance()
+		return SelectItem{Star: true}, nil
+	case p.atKeyword("AVG"):
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return SelectItem{}, err
+		}
+		call, err := p.llmCall()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Avg: true, LLM: &call}
+		return p.withAlias(item)
+	case p.atKeyword("LLM"):
+		call, err := p.llmCall()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return p.withAlias(SelectItem{LLM: &call})
+	case p.at(tokIdent):
+		col := p.advance().text
+		return p.withAlias(SelectItem{Column: col})
+	}
+	return SelectItem{}, p.errf("expected select item, found %s %q", p.cur().kind, p.cur().text)
+}
+
+func (p *parser) withAlias(item SelectItem) (SelectItem, error) {
+	if p.atKeyword("AS") {
+		p.advance()
+		alias, err := p.expect(tokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias.text
+	}
+	return item, nil
+}
+
+// llmCall := LLM '(' string (',' field)* ')'
+// field   := ident | '*' | ident '.' '*'
+func (p *parser) llmCall() (LLMCall, error) {
+	if err := p.expectKeyword("LLM"); err != nil {
+		return LLMCall{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return LLMCall{}, err
+	}
+	prompt, err := p.expect(tokString)
+	if err != nil {
+		return LLMCall{}, err
+	}
+	call := LLMCall{Prompt: prompt.text}
+	for p.at(tokComma) {
+		p.advance()
+		switch {
+		case p.at(tokStar):
+			p.advance()
+			call.AllFields = true
+		case p.at(tokIdent):
+			name := p.advance().text
+			// Allow table-qualified forms: t.col and t.* .
+			if p.at(tokDot) {
+				p.advance()
+				if p.at(tokStar) {
+					p.advance()
+					call.AllFields = true
+					break
+				}
+				col, err := p.expect(tokIdent)
+				if err != nil {
+					return LLMCall{}, err
+				}
+				name = col.text
+			}
+			call.Fields = append(call.Fields, name)
+		default:
+			return LLMCall{}, p.errf("expected field name or '*', found %s %q", p.cur().kind, p.cur().text)
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return LLMCall{}, err
+	}
+	if !call.AllFields && len(call.Fields) == 0 {
+		return LLMCall{}, p.errf("LLM call needs at least one field expression")
+	}
+	return call, nil
+}
+
+// predicate := llmCall ('='|'<>') string
+func (p *parser) predicate() (*Predicate, error) {
+	call, err := p.llmCall()
+	if err != nil {
+		return nil, err
+	}
+	var negated bool
+	switch {
+	case p.at(tokEq):
+		p.advance()
+	case p.at(tokNeq):
+		p.advance()
+		negated = true
+	default:
+		return nil, p.errf("expected '=' or '<>' after LLM predicate, found %s %q", p.cur().kind, p.cur().text)
+	}
+	lit, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+	return &Predicate{Call: call, Negated: negated, Literal: lit.text}, nil
+}

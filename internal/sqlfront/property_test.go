@@ -1,0 +1,122 @@
+package sqlfront
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomQuery generates a structurally valid AST from a random source.
+func randomQuery(r *rand.Rand) *Query {
+	idents := []string{"alpha", "beta_col", "review/overall", "c3", "text"}
+	prompts := []string{"Summarize", "Is it good?", "Rate 1-5", "it's 'quoted'"}
+	randCall := func() LLMCall {
+		c := LLMCall{Prompt: prompts[r.Intn(len(prompts))]}
+		if r.Intn(5) == 0 {
+			c.AllFields = true
+			return c
+		}
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			c.Fields = append(c.Fields, idents[r.Intn(len(idents))])
+		}
+		return c
+	}
+	q := &Query{From: "some_table"}
+	if r.Intn(3) == 0 {
+		// Aggregate-only select list.
+		n := 1 + r.Intn(2)
+		for i := 0; i < n; i++ {
+			call := randCall()
+			item := SelectItem{Avg: true, LLM: &call}
+			if r.Intn(2) == 0 {
+				item.Alias = "agg_" + idents[r.Intn(len(idents))][:2]
+			}
+			q.Select = append(q.Select, item)
+		}
+	} else {
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			switch r.Intn(3) {
+			case 0:
+				q.Select = append(q.Select, SelectItem{Star: true})
+			case 1:
+				q.Select = append(q.Select, SelectItem{Column: idents[r.Intn(len(idents))]})
+			default:
+				call := randCall()
+				q.Select = append(q.Select, SelectItem{LLM: &call})
+			}
+		}
+	}
+	if r.Intn(2) == 0 {
+		q.Where = &Predicate{
+			Call:    randCall(),
+			Negated: r.Intn(2) == 0,
+			Literal: prompts[r.Intn(len(prompts))],
+		}
+	}
+	return q
+}
+
+// normalizeStars collapses the lexical difference between `LLM('p', *)` and
+// `LLM('p', t.*)` — both parse to AllFields — so DeepEqual comparisons hold.
+func TestParseStringRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuery(r)
+		parsed, err := Parse(q.String())
+		if err != nil {
+			t.Logf("render: %s\nerr: %v", q.String(), err)
+			return false
+		}
+		if !reflect.DeepEqual(q, parsed) {
+			t.Logf("render: %s\nwant: %#v\ngot:  %#v", q.String(), q, parsed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIdempotentRendering(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuery(r)
+		once, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		twice, err := Parse(once.String())
+		if err != nil {
+			return false
+		}
+		return once.String() == twice.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = lex(s) // error or tokens, never a panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		_, _ = Parse("SELECT " + s + " FROM t")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package table
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFDSetGroups(t *testing.T) {
+	f := NewFDSet()
+	f.AddGroup("a", "b")
+	f.AddGroup("c", "d", "e")
+	if got := f.Inferred("a"); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("Inferred(a) = %v", got)
+	}
+	if got := f.Inferred("d"); len(got) != 2 {
+		t.Errorf("Inferred(d) = %v", got)
+	}
+	if got := f.Inferred("zzz"); got != nil {
+		t.Errorf("Inferred of unknown = %v", got)
+	}
+	if got := f.Group("zzz"); !reflect.DeepEqual(got, []string{"zzz"}) {
+		t.Errorf("Group of unknown = %v", got)
+	}
+}
+
+func TestFDSetTransitiveMerge(t *testing.T) {
+	f := NewFDSet()
+	f.AddGroup("a", "b")
+	f.AddGroup("b", "c")
+	g := f.Group("a")
+	if len(g) != 3 {
+		t.Fatalf("merged group = %v, want 3 members", g)
+	}
+	f.AddGroup("d", "e")
+	f.AddGroup("a", "d") // merges the two groups
+	if len(f.Group("e")) != 5 {
+		t.Errorf("cross merge failed: %v", f.Group("e"))
+	}
+}
+
+func TestFDSetDuplicatesIgnored(t *testing.T) {
+	f := NewFDSet()
+	f.AddGroup("a", "a", "b")
+	f.AddGroup("a", "b")
+	if g := f.Group("a"); len(g) != 2 {
+		t.Errorf("duplicates inflated group: %v", g)
+	}
+}
+
+func TestFDSetGroupsDeterministic(t *testing.T) {
+	f := NewFDSet()
+	f.AddGroup("z", "y")
+	f.AddGroup("b", "a")
+	groups := f.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[0][0] != "a" || groups[1][0] != "y" {
+		t.Errorf("groups not sorted: %v", groups)
+	}
+}
+
+func TestFDRestrict(t *testing.T) {
+	f := NewFDSet()
+	f.AddGroup("a", "b", "c")
+	r := f.Restrict([]string{"a", "b", "x"})
+	if g := r.Group("a"); len(g) != 2 {
+		t.Errorf("restricted group = %v", g)
+	}
+	r2 := f.Restrict([]string{"a"})
+	if g := r2.Group("a"); len(g) != 1 {
+		t.Errorf("singleton group should dissolve: %v", g)
+	}
+}
+
+func TestFDValidate(t *testing.T) {
+	tb := New("id", "name", "other")
+	tb.MustAppendRow("1", "one", "x")
+	tb.MustAppendRow("2", "two", "y")
+	tb.MustAppendRow("1", "one", "z")
+	good := NewFDSet()
+	good.AddGroup("id", "name")
+	if err := good.Validate(tb); err != nil {
+		t.Errorf("valid FD rejected: %v", err)
+	}
+	bad := NewFDSet()
+	bad.AddGroup("id", "other")
+	if err := bad.Validate(tb); err == nil {
+		t.Error("violated FD accepted")
+	}
+}
+
+func TestFDValidateReverseDirection(t *testing.T) {
+	// id -> name holds but name -> id does not; a bidirectional FD must fail.
+	tb := New("id", "name")
+	tb.MustAppendRow("1", "same")
+	tb.MustAppendRow("2", "same")
+	f := NewFDSet()
+	f.AddGroup("id", "name")
+	if err := f.Validate(tb); err == nil {
+		t.Error("non-bijective mapping accepted as bidirectional FD")
+	}
+}
+
+func TestMine(t *testing.T) {
+	tb := New("id", "name", "free")
+	tb.MustAppendRow("1", "one", "a")
+	tb.MustAppendRow("2", "two", "a")
+	tb.MustAppendRow("1", "one", "b")
+	mined := Mine(tb)
+	if g := mined.Group("id"); len(g) != 2 {
+		t.Errorf("Mine missed id↔name: %v", g)
+	}
+	if g := mined.Group("free"); len(g) != 1 {
+		t.Errorf("Mine invented FD for free column: %v", g)
+	}
+}
+
+func TestMinedFDsAlwaysValidate(t *testing.T) {
+	// Property: whatever Mine discovers must pass Validate on the same table.
+	f := func(cells [][3]uint8) bool {
+		tb := New("a", "b", "c")
+		for _, r := range cells {
+			tb.MustAppendRow(
+				string(rune('a'+r[0]%4)),
+				string(rune('a'+r[1]%4)),
+				string(rune('a'+r[2]%4)),
+			)
+		}
+		return Mine(tb).Validate(tb) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := NewFDSet()
+	f.AddGroup("a", "b")
+	c := f.Clone()
+	c.AddGroup("a", "x")
+	if len(f.Group("a")) != 2 {
+		t.Errorf("clone mutation leaked into original: %v", f.Group("a"))
+	}
+}

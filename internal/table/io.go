@@ -1,0 +1,85 @@
+package table
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV serializes the table (header + rows) to w in RFC 4180 CSV.
+// Hidden columns and FDs are not serialized; they are schema metadata.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.cols); err != nil {
+		return fmt.Errorf("table: write header: %w", err)
+	}
+	for i, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("table: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table from CSV. The first record is the header.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: read header: %w", err)
+	}
+	t := New(header...)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: read line %d: %w", line, err)
+		}
+		if err := t.AppendRow(rec...); err != nil {
+			return nil, fmt.Errorf("table: line %d: %w", line, err)
+		}
+	}
+	return t, nil
+}
+
+// jsonTable is the JSON wire format: schema plus rows, with FD groups so a
+// round trip preserves solver-relevant metadata.
+type jsonTable struct {
+	Columns []string   `json:"columns"`
+	FDs     [][]string `json:"fds,omitempty"`
+	Rows    [][]string `json:"rows"`
+}
+
+// WriteJSON serializes the table, including FD groups.
+func (t *Table) WriteJSON(w io.Writer) error {
+	jt := jsonTable{Columns: t.cols, FDs: t.fds.Groups(), Rows: t.rows}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jt)
+}
+
+// ReadJSON parses a table previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var jt jsonTable
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("table: decode json: %w", err)
+	}
+	t := New(jt.Columns...)
+	for i, row := range jt.Rows {
+		if err := t.AppendRow(row...); err != nil {
+			return nil, fmt.Errorf("table: json row %d: %w", i, err)
+		}
+	}
+	fds := NewFDSet()
+	for _, g := range jt.FDs {
+		fds.AddGroup(g...)
+	}
+	if err := t.SetFDs(fds); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,105 @@
+package table
+
+import (
+	"testing"
+)
+
+func statsTable() *Table {
+	t := New("uniq", "constant", "grouped")
+	t.MustAppendRow("a1", "same-long-value", "g1")
+	t.MustAppendRow("b22", "same-long-value", "g1")
+	t.MustAppendRow("c333", "same-long-value", "g2")
+	t.MustAppendRow("d4444", "same-long-value", "g2")
+	return t
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats(statsTable(), CharLen)
+	if s.Rows != 4 {
+		t.Fatalf("rows = %d", s.Rows)
+	}
+	u, _ := s.Col("uniq")
+	if u.Distinct != 4 || u.TopGroup != 1 {
+		t.Errorf("uniq stats = %+v", u)
+	}
+	if u.MaxLen != 5 {
+		t.Errorf("uniq MaxLen = %d", u.MaxLen)
+	}
+	c, _ := s.Col("constant")
+	if c.Distinct != 1 || c.TopGroup != 4 {
+		t.Errorf("constant stats = %+v", c)
+	}
+	if c.AvgLen != 15 {
+		t.Errorf("constant AvgLen = %v", c.AvgLen)
+	}
+	if c.AvgSqLen != 225 {
+		t.Errorf("constant AvgSqLen = %v", c.AvgSqLen)
+	}
+	g, _ := s.Col("grouped")
+	if g.Distinct != 2 || g.TopGroup != 2 {
+		t.Errorf("grouped stats = %+v", g)
+	}
+	if _, ok := s.Col("missing"); ok {
+		t.Error("missing column reported")
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	s := ComputeStats(statsTable(), CharLen)
+	// Unique column scores zero; constant long column scores highest.
+	if s.Score("uniq") != 0 {
+		t.Errorf("unique column score = %v, want 0", s.Score("uniq"))
+	}
+	if s.Score("constant") <= s.Score("grouped") {
+		t.Errorf("constant (%v) should outrank grouped (%v)",
+			s.Score("constant"), s.Score("grouped"))
+	}
+	order := s.OrderByScore([]string{"uniq", "grouped", "constant"})
+	if order[0] != "constant" || order[2] != "uniq" {
+		t.Errorf("OrderByScore = %v", order)
+	}
+}
+
+func TestScoreUnknownColumn(t *testing.T) {
+	s := ComputeStats(statsTable(), CharLen)
+	if s.Score("nope") != 0 {
+		t.Error("unknown column should score 0")
+	}
+}
+
+func TestStatsEmptyTable(t *testing.T) {
+	s := ComputeStats(New("a", "b"), CharLen)
+	if s.Rows != 0 {
+		t.Fatalf("rows = %d", s.Rows)
+	}
+	a, ok := s.Col("a")
+	if !ok || a.AvgLen != 0 || a.Distinct != 0 {
+		t.Errorf("empty column stats = %+v", a)
+	}
+}
+
+func TestStatsWithUnitLen(t *testing.T) {
+	s := ComputeStats(statsTable(), UnitLen)
+	c, _ := s.Col("constant")
+	if c.AvgLen != 1 || c.AvgSqLen != 1 {
+		t.Errorf("unit-length stats = %+v", c)
+	}
+}
+
+func TestOrderByScoreDeterministicTies(t *testing.T) {
+	tb := New("b", "a") // both unique -> both score 0 -> tie broken by name
+	tb.MustAppendRow("1", "2")
+	tb.MustAppendRow("3", "4")
+	s := ComputeStats(tb, CharLen)
+	order := s.OrderByScore([]string{"b", "a"})
+	if order[0] != "a" || order[1] != "b" {
+		t.Errorf("tie break not by name: %v", order)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := ComputeStats(statsTable(), CharLen)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

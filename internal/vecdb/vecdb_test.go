@@ -1,0 +1,182 @@
+package vecdb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedNormalized(t *testing.T) {
+	e := NewEmbedder(64)
+	v := e.Embed("some words about beer and movies")
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Errorf("norm² = %f, want 1", norm)
+	}
+}
+
+func TestEmbedEmptyIsZero(t *testing.T) {
+	e := NewEmbedder(16)
+	for _, txt := range []string{"", "!!! ...", "   "} {
+		for i, x := range e.Embed(txt) {
+			if x != 0 {
+				t.Errorf("Embed(%q)[%d] = %f", txt, i, x)
+			}
+		}
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	e1, e2 := NewEmbedder(128), NewEmbedder(128)
+	a, b := e1.Embed("hello world"), e2.Embed("hello world")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dim %d differs", i)
+		}
+	}
+}
+
+func TestEmbedCaseInsensitive(t *testing.T) {
+	e := NewEmbedder(64)
+	a, b := e.Embed("Hello World"), e.Embed("hello world")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("case changed embedding")
+		}
+	}
+}
+
+func TestSearchFindsRelated(t *testing.T) {
+	e := NewEmbedder(256)
+	ix := NewIndex(e)
+	ix.AddAll([]string{
+		"quantum computing with superconducting qubits and error correction",
+		"baking sourdough bread with wild yeast starter",
+		"qubits decoherence and quantum error correction research",
+		"gardening tips for tomato plants in summer",
+	})
+	res, err := ix.Search("quantum qubits error correction", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{res[0].ID: true, res[1].ID: true}
+	if !got[0] || !got[2] {
+		t.Errorf("top-2 = %v, want docs 0 and 2", res)
+	}
+	if res[0].Score < res[1].Score {
+		t.Error("results not sorted by score")
+	}
+}
+
+func TestSearchSelfRetrieval(t *testing.T) {
+	e := NewEmbedder(256)
+	ix := NewIndex(e)
+	docs := []string{
+		"alpha beta gamma delta", "epsilon zeta eta theta",
+		"iota kappa lambda mu", "nu xi omicron pi",
+	}
+	ix.AddAll(docs)
+	for i, d := range docs {
+		res, err := ix.Search(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].ID != i {
+			t.Errorf("doc %d: self-retrieval found %d", i, res[0].ID)
+		}
+	}
+}
+
+func TestSearchKClamping(t *testing.T) {
+	ix := NewIndex(NewEmbedder(32))
+	ix.AddAll([]string{"one thing", "two things"})
+	res, err := ix.Search("thing", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Errorf("len = %d, want clamped 2", len(res))
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ix := NewIndex(NewEmbedder(32))
+	if _, err := ix.Search("anything", 1); err == nil {
+		t.Error("search on empty index succeeded")
+	}
+	ix.Add("doc")
+	if _, err := ix.Search("anything", 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestSearchDeterministicTies(t *testing.T) {
+	ix := NewIndex(NewEmbedder(64))
+	// Identical documents: scores tie exactly; IDs must come back ascending.
+	ix.AddAll([]string{"same text", "same text", "same text", "other words entirely"})
+	res, err := ix.Search("same text", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 0 || res[1].ID != 1 || res[2].ID != 2 {
+		t.Errorf("tie order = %v", res)
+	}
+}
+
+func TestSearchTopKMatchesFullSort(t *testing.T) {
+	// Property: heap-based top-k equals the k best of a full scan.
+	e := NewEmbedder(64)
+	ix := NewIndex(e)
+	docs := []string{
+		"red green blue", "green blue yellow", "blue yellow red",
+		"alpha beta", "beta gamma", "gamma alpha", "red alpha",
+		"unrelated words here", "more filler text", "red red red",
+	}
+	ix.AddAll(docs)
+	f := func(qSeed uint8, kRaw uint8) bool {
+		q := docs[int(qSeed)%len(docs)]
+		k := 1 + int(kRaw)%len(docs)
+		res, err := ix.Search(q, k)
+		if err != nil {
+			return false
+		}
+		// Verify ordering and that no skipped doc beats the kept worst.
+		for i := 1; i < len(res); i++ {
+			if better(res[i], res[i-1]) {
+				return false
+			}
+		}
+		kept := map[int]bool{}
+		for _, r := range res {
+			kept[r.ID] = true
+		}
+		worst := res[len(res)-1]
+		qv := e.Embed(q)
+		for id := range docs {
+			if kept[id] {
+				continue
+			}
+			var dot float32
+			dv := e.Embed(docs[id])
+			for i := range qv {
+				dot += qv[i] * dv[i]
+			}
+			if better(Result{ID: id, Score: dot}, worst) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultDim(t *testing.T) {
+	if NewEmbedder(0).Dim() != 256 {
+		t.Error("default dim not applied")
+	}
+}

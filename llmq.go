@@ -1,0 +1,253 @@
+// Package llmq is the public API of the reproduction of "Optimizing LLM
+// Queries in Relational Data Analytics Workloads" (MLSys 2025).
+//
+// The library reorders the rows of a relational table — and, independently
+// per row, the fields within each row — so that consecutive LLM requests
+// share the longest possible prompt prefixes, maximizing KV-cache reuse in a
+// serving engine and cached-token discounts on commercial APIs.
+//
+// Typical use:
+//
+//	t := llmq.NewTable("product", "review")
+//	t.MustAppendRow("Widget", "Great value for money")
+//	...
+//	res, err := llmq.Reorder(t, llmq.ReorderOptions{})
+//	// res.Schedule lists the rows in serving order, each with its own
+//	// field order; res.PHC is the prefix hit count achieved.
+//
+// Higher layers expose the paper's full evaluation stack: the 16-query
+// benchmark (RunQuery), the synthetic datasets (Dataset/RAGDataset), the
+// vLLM-style serving simulator, API cost models (EstimateSavings), and every
+// table/figure runner (RunExperiment).
+package llmq
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/pricing"
+	"repro/internal/query"
+	"repro/internal/sqlfront"
+	"repro/internal/table"
+	"repro/internal/tokenizer"
+)
+
+// Table is a column-named row store; see NewTable.
+type Table = table.Table
+
+// FDSet declares bidirectional functional dependencies between columns.
+type FDSet = table.FDSet
+
+// Schedule is a reordered request list: rows in serving order, each with its
+// own field order.
+type Schedule = core.Schedule
+
+// ReorderResult carries the schedule and its prefix hit count.
+type ReorderResult = core.Result
+
+// NewTable creates an empty table with the given columns.
+func NewTable(cols ...string) *Table { return table.New(cols...) }
+
+// NewFDSet creates an empty functional-dependency set; attach it to a table
+// with Table.SetFDs.
+func NewFDSet() *FDSet { return table.NewFDSet() }
+
+// Algorithm selects the reordering solver.
+type Algorithm string
+
+const (
+	// GGR is Greedy Group Recursion (Algorithm 1) — the practical solver.
+	GGR Algorithm = "ggr"
+	// OPHR is the exact, exponential-time solver; small tables only.
+	OPHR Algorithm = "ophr"
+	// BestFixed uses one statistics-chosen field order for all rows.
+	BestFixed Algorithm = "bestfixed"
+)
+
+// ReorderOptions configures Reorder. The zero value runs GGR with the
+// paper's evaluation settings (FDs on, row depth 4, column depth 2, 0.1M
+// hit-count threshold) over token lengths.
+type ReorderOptions struct {
+	Algorithm Algorithm
+	// Exhaustive disables GGR early stopping (ignored for other algorithms).
+	Exhaustive bool
+	// CharLengths measures PHC in bytes instead of tokens.
+	CharLengths bool
+	// DisableFDs ignores the table's functional dependencies.
+	DisableFDs bool
+	// OPHRNodeBudget bounds the exact solver (default 5e6 nodes).
+	OPHRNodeBudget int64
+}
+
+// Reorder computes a cache-maximizing request schedule for t. The schedule
+// is verified to preserve query semantics (every row exactly once, each
+// row's cells a permutation of the original) before it is returned.
+func Reorder(t *Table, opt ReorderOptions) (*ReorderResult, error) {
+	lenOf := table.LenFunc(TokenLen)
+	if opt.CharLengths {
+		lenOf = table.CharLen
+	}
+	var res *core.Result
+	switch opt.Algorithm {
+	case GGR, "":
+		o := core.DefaultGGROptions(lenOf)
+		if opt.Exhaustive {
+			o = core.ExhaustiveGGROptions(lenOf)
+		}
+		o.UseFDs = !opt.DisableFDs
+		res = core.GGR(t, o)
+	case OPHR:
+		var err error
+		res, err = core.OPHR(t, core.OPHROptions{LenOf: lenOf, MaxNodes: opt.OPHRNodeBudget})
+		if err != nil {
+			return nil, err
+		}
+	case BestFixed:
+		s := core.BestFixed(t, lenOf)
+		res = &core.Result{Schedule: s, PHC: core.PHC(s, lenOf), Estimate: core.PHC(s, lenOf)}
+	default:
+		return nil, fmt.Errorf("llmq: unknown algorithm %q", opt.Algorithm)
+	}
+	if err := core.Verify(t, res.Schedule); err != nil {
+		return nil, fmt.Errorf("llmq: internal error, schedule failed verification: %w", err)
+	}
+	return res, nil
+}
+
+// PHC computes the prefix hit count (Eq. 1–2 of the paper) of a schedule in
+// token units.
+func PHC(s *Schedule) int64 { return core.PHC(s, TokenLen) }
+
+// HitRate estimates the fraction of data tokens an adjacent-row prefix cache
+// would reuse under this schedule.
+func HitRate(s *Schedule) float64 { return core.Hits(s, TokenLen).Rate() }
+
+// OriginalSchedule is the identity schedule (no reordering) — the baseline.
+func OriginalSchedule(t *Table) *Schedule { return core.Original(t) }
+
+// Advice is the reorder-or-not verdict computed from table statistics alone.
+type Advice = core.Advice
+
+// Advise estimates, without running a solver, whether reordering t is worth
+// the scheduling overhead: how much of the table's token mass is repeated
+// and how much of that the current layout already exploits. sampleRows
+// bounds the statistics scan (0 = all rows).
+func Advise(t *Table, sampleRows int) Advice {
+	return core.Advise(t, TokenLen, sampleRows)
+}
+
+// TokenLen counts tokens in a value with the library's deterministic
+// tokenizer.
+func TokenLen(v string) int { return tokenizer.Count(v) }
+
+// --- benchmark suite --------------------------------------------------------
+
+// QuerySpec describes one of the 16 benchmark queries; Policy and
+// QueryConfig parameterize execution against the serving simulator.
+type (
+	QuerySpec   = query.Spec
+	Policy      = query.Policy
+	QueryConfig = query.Config
+	QueryResult = query.Result
+)
+
+// Execution policies (Sec. 6.1.3 baselines).
+const (
+	PolicyNoCache       = query.NoCache
+	PolicyCacheOriginal = query.CacheOriginal
+	PolicyCacheGGR      = query.CacheGGR
+)
+
+// Queries lists the 16-query benchmark suite.
+func Queries() []QuerySpec { return query.Specs() }
+
+// QueryByName resolves a benchmark query.
+func QueryByName(name string) (QuerySpec, error) { return query.ByName(name) }
+
+// RunQuery executes a benchmark query over t under cfg (model, cluster, and
+// scheduling policy) on the serving simulator.
+func RunQuery(spec QuerySpec, t *Table, cfg QueryConfig) (*QueryResult, error) {
+	return query.Run(spec, t, cfg)
+}
+
+// --- datasets ----------------------------------------------------------------
+
+// Dataset generates one of the paper's five relational datasets ("Movies",
+// "Products", "BIRD", "PDMX", "Beer") at the given scale (1.0 = paper size).
+func Dataset(name string, scale float64, seed int64) (*Table, error) {
+	d, err := datagen.RelationalByName(name, datagen.Options{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return d.Table, nil
+}
+
+// RAGDataset generates "FEVER" or "SQuAD" and materializes the retrieval
+// join (question plus top-k contexts per row).
+func RAGDataset(name string, scale float64, seed int64) (*Table, error) {
+	d, err := datagen.RAGByName(name, datagen.Options{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return query.BuildRAGTable(d)
+}
+
+// --- pricing -----------------------------------------------------------------
+
+// PriceBook is a provider price card; the two cards of the paper's cost
+// study are exported as GPT4oMini and Claude35Sonnet.
+type PriceBook = pricing.Book
+
+// Provider price cards (Sec. 6.3).
+var (
+	GPT4oMini      = pricing.GPT4oMini
+	Claude35Sonnet = pricing.Claude35Sonnet
+)
+
+// EstimateSavings computes the relative input-cost reduction of moving from
+// one prefix hit rate to another under a provider's caching prices
+// (Table 4's arithmetic).
+func EstimateSavings(book PriceBook, hitRateBefore, hitRateAfter float64) float64 {
+	return pricing.EstimatedSavings(book, hitRateBefore, hitRateAfter)
+}
+
+// --- LLM-SQL -------------------------------------------------------------------
+
+// SQLDB is a registry of named tables for LLM-SQL statements; SQLResult an
+// executed statement's relation plus serving statistics.
+type (
+	SQLDB     = sqlfront.DB
+	SQLConfig = sqlfront.ExecConfig
+	SQLResult = sqlfront.Result
+)
+
+// NewSQLDB returns an empty LLM-SQL database.
+func NewSQLDB() *SQLDB { return sqlfront.NewDB() }
+
+// ExecSQL runs one LLM-SQL statement (the paper's interface, e.g.
+// "SELECT a, LLM('prompt', b, c) FROM t WHERE LLM('p', d) = 'Yes'") against
+// a single registered table.
+func ExecSQL(sql string, tableName string, t *Table, cfg SQLConfig) (*SQLResult, error) {
+	db := NewSQLDB()
+	db.Register(tableName, t)
+	return db.Exec(sql, cfg)
+}
+
+// --- experiment harness --------------------------------------------------------
+
+// ExperimentConfig scales an experiment run; ExperimentReport is its rendered
+// result.
+type (
+	ExperimentConfig = bench.Config
+	ExperimentReport = bench.Report
+)
+
+// Experiments lists every reproducible table/figure ID (see DESIGN.md §4).
+func Experiments() []string { return bench.Experiments() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentReport, error) {
+	return bench.Run(id, cfg)
+}

@@ -1,0 +1,155 @@
+package llmq
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReorderFacade(t *testing.T) {
+	tb := NewTable("entity", "note")
+	tb.MustAppendRow("shared-entity-description", "alpha")
+	tb.MustAppendRow("another-entity-altogether", "beta")
+	tb.MustAppendRow("shared-entity-description", "gamma")
+	res, err := Reorder(tb, ReorderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PHC <= 0 {
+		t.Errorf("PHC = %d, want positive (two rows share an entity)", res.PHC)
+	}
+	if got := PHC(res.Schedule); got != res.PHC {
+		t.Errorf("PHC() = %d, result says %d", got, res.PHC)
+	}
+	if HitRate(res.Schedule) <= HitRate(OriginalSchedule(tb)) {
+		t.Error("reordering did not improve hit rate")
+	}
+}
+
+func TestReorderAlgorithms(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.MustAppendRow("x", "1")
+	tb.MustAppendRow("x", "2")
+	tb.MustAppendRow("y", "1")
+	for _, alg := range []Algorithm{GGR, OPHR, BestFixed} {
+		res, err := Reorder(tb, ReorderOptions{Algorithm: alg, CharLengths: true})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Schedule.Rows) != 3 {
+			t.Fatalf("%s: %d rows", alg, len(res.Schedule.Rows))
+		}
+	}
+	if _, err := Reorder(tb, ReorderOptions{Algorithm: "nope"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	tb, err := Dataset("Movies", 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() == 0 || tb.NumCols() != 8 {
+		t.Errorf("Movies: %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	if _, err := Dataset("nope", 0.01, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	rag, err := RAGDataset("FEVER", 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rag.NumCols() != 5 {
+		t.Errorf("FEVER join has %d cols", rag.NumCols())
+	}
+}
+
+func TestFacadeQueryRoundTrip(t *testing.T) {
+	tb, err := Dataset("Beer", 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := QueryByName("beer-filter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunQuery(spec, tb, QueryConfig{Policy: PolicyCacheGGR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JCT <= 0 || len(res.Outputs) != tb.NumRows() {
+		t.Errorf("JCT=%f outputs=%d", res.JCT, len(res.Outputs))
+	}
+	if len(Queries()) != 16 {
+		t.Errorf("suite has %d queries", len(Queries()))
+	}
+}
+
+func TestFacadeSavings(t *testing.T) {
+	if s := EstimateSavings(GPT4oMini, 0.1, 0.8); s <= 0 {
+		t.Errorf("savings = %f", s)
+	}
+	if s := EstimateSavings(Claude35Sonnet, 0.1, 0.8); s <= 0 {
+		t.Errorf("anthropic savings = %f", s)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 14 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	rep, err := RunExperiment("fig1a", ExperimentConfig{Scale: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig1a" {
+		t.Errorf("report id %q", rep.ID)
+	}
+}
+
+func TestTokenLen(t *testing.T) {
+	if TokenLen("") != 0 {
+		t.Error("empty string has tokens")
+	}
+	if TokenLen("hello world") != 2 {
+		t.Errorf("TokenLen = %d", TokenLen("hello world"))
+	}
+}
+
+func TestExecSQLFacade(t *testing.T) {
+	tb := NewTable("name", "bio")
+	tb.MustAppendRow("alpha", "a shared biography text")
+	tb.MustAppendRow("beta", "a shared biography text")
+	res, err := ExecSQL(`SELECT name, LLM('Summarize', bio) AS s FROM people`, "people", tb,
+		SQLConfig{Config: QueryConfig{Policy: PolicyCacheGGR}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Columns[1] != "s" {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.JCT <= 0 {
+		t.Error("no serving time")
+	}
+	if _, err := ExecSQL(`SELECT missing FROM people`, "people", tb, SQLConfig{}); err == nil {
+		t.Error("invalid SQL accepted")
+	}
+}
+
+func TestAdviseFacade(t *testing.T) {
+	tb := NewTable("unique", "shared")
+	for i := 0; i < 20; i++ {
+		tb.MustAppendRow(fmt.Sprintf("u-%d", i), "a long shared description value")
+	}
+	adv := Advise(tb, 0)
+	if !adv.Reorder {
+		t.Errorf("advisor declined: %+v", adv)
+	}
+	flat := NewTable("a")
+	flat.MustAppendRow("x1")
+	flat.MustAppendRow("y2")
+	if Advise(flat, 0).Reorder {
+		t.Error("advisor recommended a repetition-free table")
+	}
+}
