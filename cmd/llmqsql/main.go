@@ -9,6 +9,17 @@
 //	llmqsql -dataset Movies -scale 0.05 \
 //	   "SELECT movietitle FROM Movies WHERE LLM('Suitable for kids?', movieinfo, genres) = 'Yes'"
 //
+//	llmqsql -dataset Movies -scale 0.05 \
+//	   "SELECT genres, COUNT(*) AS n, AVG(LLM('Rate 1-5', reviewcontent)) AS score \
+//	    FROM Movies WHERE reviewtype = 'Fresh' AND LLM('Kids?', movieinfo) = 'Yes' \
+//	    GROUP BY genres ORDER BY n DESC LIMIT 5"
+//
+// WHERE clauses are AND/OR/NOT trees over LLM and plain-column comparisons;
+// SELECT lists admit COUNT/SUM/MIN/MAX/AVG aggregates, GROUP BY, and
+// ORDER BY ... LIMIT. Statements run through the logical planner (plain
+// predicates pushed ahead of LLM stages, distinct LLM calls deduplicated);
+// -naive disables the planner so its savings can be measured.
+//
 // The -policy flag switches scheduling (no-cache / cache-original /
 // cache-ggr) without changing results; serving statistics print on stderr.
 package main
@@ -32,6 +43,7 @@ func main() {
 		scale   = flag.Float64("scale", 0.05, "dataset scale when -dataset is used")
 		seed    = flag.Int64("seed", 1, "dataset seed")
 		policy  = flag.String("policy", "cache-ggr", "no-cache, cache-original, or cache-ggr")
+		naive   = flag.Bool("naive", false, "disable the logical planner (no pushdown, no LLM-call dedup)")
 		maxRows = flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	)
 	flag.Parse()
@@ -64,7 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := sqlfront.ExecConfig{Config: query.Config{Policy: query.Policy(*policy)}}
+	cfg := sqlfront.ExecConfig{Config: query.Config{Policy: query.Policy(*policy)}, Naive: *naive}
 	res, err := db.Exec(flag.Arg(0), cfg)
 	if err != nil {
 		fatal(err)
@@ -83,8 +95,12 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%d rows (%d shown), %d LLM calls over %d stage(s)\n",
 		len(res.Rows), n, res.LLMCalls, res.Stages)
-	fmt.Fprintf(os.Stderr, "virtual serving time %.1fs, prefix hit rate %.1f%%, solver %.3fs (policy %s)\n",
-		res.JCT, 100*res.HitRate, res.SolverSeconds, *policy)
+	plan := "planned"
+	if *naive {
+		plan = "naive"
+	}
+	fmt.Fprintf(os.Stderr, "virtual serving time %.1fs, prefix hit rate %.1f%%, solver %.3fs (policy %s, %s)\n",
+		res.JCT, 100*res.HitRate, res.SolverSeconds, *policy, plan)
 }
 
 func fatal(err error) {

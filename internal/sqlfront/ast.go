@@ -7,21 +7,42 @@ import (
 
 // Query is a parsed LLM-SQL statement:
 //
-//	SELECT <items> FROM <table> [WHERE LLM(...) {=|<>} 'literal']
+//	SELECT <items> FROM <table> [WHERE <expr>]
+//	  [GROUP BY <cols>] [ORDER BY <col> [ASC|DESC]] [LIMIT <n>]
 type Query struct {
-	Select []SelectItem
-	From   string
-	Where  *Predicate
+	Select  []SelectItem
+	From    string
+	Where   Expr       // nil when absent
+	GroupBy []string   // nil when absent
+	OrderBy *OrderItem // nil when absent
+	// Limit is -1 when absent. Note the zero value therefore means LIMIT 0
+	// (an empty result); construct queries via Parse, which sets the
+	// sentinel.
+	Limit int
 }
 
+// AggFunc names an aggregate function in a select item ("" = not an
+// aggregate).
+type AggFunc string
+
+const (
+	AggNone  AggFunc = ""
+	AggAvg   AggFunc = "AVG"
+	AggCount AggFunc = "COUNT"
+	AggSum   AggFunc = "SUM"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+)
+
 // SelectItem is one output column: '*', a plain column, an LLM call, or an
-// AVG-aggregated LLM call.
+// aggregate over an LLM call, a plain column, or (COUNT only) '*'.
 type SelectItem struct {
-	Star   bool
-	Column string
-	LLM    *LLMCall
-	Avg    bool
-	Alias  string
+	Star    bool
+	Column  string
+	LLM     *LLMCall
+	Agg     AggFunc
+	AggStar bool // COUNT(*)
+	Alias   string
 }
 
 // LLMCall is the generic LLM operator of Sec. 3.1: a prompt plus field
@@ -33,15 +54,114 @@ type LLMCall struct {
 	AllFields bool
 }
 
-// Predicate is a WHERE clause comparing an LLM call's output to a literal.
-type Predicate struct {
-	Call    LLMCall
-	Negated bool // true for <> / !=
-	Literal string
+// Key canonically identifies a call for the planner's invocation dedup: two
+// calls with the same prompt and field expression run as one stage. Every
+// component is length-prefixed so the encoding is injective — no prompt or
+// field content (NUL bytes, a column literally named "*") can collide two
+// distinct calls into one stage.
+func (c LLMCall) Key() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:%s;%t;%d", len(c.Prompt), c.Prompt, c.AllFields, len(c.Fields))
+	for _, f := range c.Fields {
+		fmt.Fprintf(&sb, ";%d:%s", len(f), f)
+	}
+	return sb.String()
+}
+
+// OrderItem is an ORDER BY key over an output column of the statement.
+type OrderItem struct {
+	Column string
+	Desc   bool
+}
+
+// Expr is a boolean WHERE expression: AND/OR/NOT combinations over
+// comparison leaves.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// BinaryExpr is an AND or OR node.
+type BinaryExpr struct {
+	Op          string // "AND" or "OR"
+	Left, Right Expr
+}
+
+// NotExpr negates its inner expression.
+type NotExpr struct {
+	Inner Expr
+}
+
+// Compare is a leaf predicate: an LLM call or a plain column compared to a
+// string or numeric literal.
+type Compare struct {
+	LLM      *LLMCall // nil for a plain-column comparison
+	Column   string   // set when LLM is nil
+	Negated  bool     // true for <> / !=
+	Literal  string   // raw comparand text (unquoted)
+	IsNumber bool     // literal was a numeric token
+}
+
+func (*BinaryExpr) isExpr() {}
+func (*NotExpr) isExpr()    {}
+func (*Compare) isExpr()    {}
+
+// exprPrec orders operators for minimal-parenthesis rendering: OR < AND <
+// NOT < comparison.
+func exprPrec(e Expr) int {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		if n.Op == "OR" {
+			return 1
+		}
+		return 2
+	case *NotExpr:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func (e *BinaryExpr) String() string {
+	// The parser is left-associative, so a right child at the same
+	// precedence needs parentheses to round-trip structurally.
+	left := childString(e.Left, exprPrec(e), false)
+	right := childString(e.Right, exprPrec(e), true)
+	return left + " " + e.Op + " " + right
+}
+
+func (e *NotExpr) String() string {
+	return "NOT " + childString(e.Inner, exprPrec(e), true)
+}
+
+func (e *Compare) String() string {
+	var lhs string
+	if e.LLM != nil {
+		lhs = e.LLM.String()
+	} else {
+		lhs = renderIdent(e.Column)
+	}
+	op := "="
+	if e.Negated {
+		op = "<>"
+	}
+	rhs := "'" + strings.ReplaceAll(e.Literal, "'", "''") + "'"
+	if e.IsNumber {
+		rhs = e.Literal
+	}
+	return lhs + " " + op + " " + rhs
+}
+
+func childString(c Expr, parentPrec int, right bool) string {
+	p := exprPrec(c)
+	if p < parentPrec || (right && p == parentPrec) {
+		return "(" + c.String() + ")"
+	}
+	return c.String()
 }
 
 // String renders the query back to SQL (normalized), useful in errors and
-// logs.
+// logs; Parse(q.String()) reproduces the AST.
 func (q *Query) String() string {
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
@@ -51,14 +171,29 @@ func (q *Query) String() string {
 		}
 		sb.WriteString(s.String())
 	}
-	fmt.Fprintf(&sb, " FROM %s", q.From)
+	fmt.Fprintf(&sb, " FROM %s", renderIdent(q.From))
 	if q.Where != nil {
-		op := "="
-		if q.Where.Negated {
-			op = "<>"
+		sb.WriteString(" WHERE ")
+		sb.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, c := range q.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(renderIdent(c))
 		}
-		fmt.Fprintf(&sb, " WHERE %s %s '%s'", q.Where.Call.String(), op,
-			strings.ReplaceAll(q.Where.Literal, "'", "''"))
+	}
+	if q.OrderBy != nil {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(renderIdent(q.OrderBy.Column))
+		if q.OrderBy.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
 	}
 	return sb.String()
 }
@@ -68,15 +203,24 @@ func (s SelectItem) String() string {
 	switch {
 	case s.Star:
 		return "*"
-	case s.Avg:
-		base = fmt.Sprintf("AVG(%s)", s.LLM.String())
+	case s.Agg != AggNone:
+		var arg string
+		switch {
+		case s.AggStar:
+			arg = "*"
+		case s.LLM != nil:
+			arg = s.LLM.String()
+		default:
+			arg = renderIdent(s.Column)
+		}
+		base = fmt.Sprintf("%s(%s)", s.Agg, arg)
 	case s.LLM != nil:
 		base = s.LLM.String()
 	default:
-		base = s.Column
+		base = renderIdent(s.Column)
 	}
 	if s.Alias != "" {
-		return base + " AS " + s.Alias
+		return base + " AS " + renderIdent(s.Alias)
 	}
 	return base
 }
@@ -91,8 +235,27 @@ func (c LLMCall) String() string {
 	}
 	for _, f := range c.Fields {
 		sb.WriteString(", ")
-		sb.WriteString(f)
+		sb.WriteString(renderIdent(f))
 	}
 	sb.WriteString(")")
 	return sb.String()
+}
+
+// renderIdent emits an identifier, double-quoting it when its bare form
+// would not lex back to the same token (keyword collision, empty, or
+// characters outside the bare-identifier alphabet).
+func renderIdent(s string) string {
+	bare := s != "" && isIdentStart(s[0])
+	for i := 0; bare && i < len(s); i++ {
+		if !isIdentPart(s[i]) {
+			bare = false
+		}
+	}
+	if bare && keywords[strings.ToUpper(s)] {
+		bare = false
+	}
+	if bare {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }

@@ -2,8 +2,11 @@ package sqlfront
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/query"
 	"repro/internal/table"
@@ -33,6 +36,15 @@ type ExecConfig struct {
 	FilterOutTokens     int
 	ProjectionOutTokens int
 	AggOutTokens        int
+	// Naive disables the logical planner's optimizations: no predicate
+	// pushdown and one LLM stage per call occurrence instead of per distinct
+	// call. Query semantics are unchanged; serving cost (LLMCalls, JCT) is
+	// not. Note the simulated oracle keys its per-row accuracy draws by row
+	// position within a stage's input table, so plans that feed a stage
+	// different row sets can disagree on stochastically-answered rows
+	// (ground truth itself is content-keyed and stable; a real model's
+	// answers would not depend on batch composition at all).
+	Naive bool
 }
 
 func (c ExecConfig) filterOut() int {
@@ -70,9 +82,12 @@ type Result struct {
 	Stages        int
 }
 
-// Exec parses and runs one LLM-SQL statement. Every LLM stage is scheduled
-// under cfg.Policy, so switching the policy (no-cache / original / GGR)
-// changes only performance, never results.
+// Exec parses, plans, and runs one LLM-SQL statement. Every LLM stage is
+// scheduled under cfg.Policy, so switching the policy (no-cache / original /
+// GGR) changes only performance, never results. The logical plan additionally
+// pushes plain-column predicates ahead of all LLM stages and runs each
+// distinct LLM call once (see Plan); cfg.Naive reverts to the unoptimized
+// plan for comparison.
 func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
@@ -85,16 +100,18 @@ func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
 	if err := validate(q, base); err != nil {
 		return nil, err
 	}
+	pl, err := BuildPlan(q, !cfg.Naive)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{}
-	stageSeq := 0
 	var promptTok, matchedTok int64
 	runStage := func(spec query.Spec, tbl *table.Table) (*query.StageResult, error) {
 		st, err := query.RunStage(spec, tbl, cfg.Config)
 		if err != nil {
 			return nil, err
 		}
-		stageSeq++
 		res.Stages++
 		res.JCT += st.Metrics.JCT
 		res.SolverSeconds += st.SolverSeconds
@@ -104,49 +121,191 @@ func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
 		return st, nil
 	}
 
-	// WHERE: one filter stage over the predicate's fields.
+	// 1. Pushdown: prune rows with plain-column predicates before any model
+	// call — no LLM stage ever sees a row a cheap filter can discard.
 	working := base
-	if q.Where != nil {
-		proj, err := projectCall(base, q.Where.Call)
+	if pl.Pushed != nil {
+		passing, err := passingRows(working, pl.Pushed, nil)
 		if err != nil {
 			return nil, err
 		}
-		choices, truthCol := filterChoices(proj, q.Where.Literal)
-		spec := query.Spec{
-			Name:        fmt.Sprintf("sql-where-%d", stageSeq),
-			Dataset:     q.From,
-			Type:        query.Filter,
-			UserPrompt:  q.Where.Call.Prompt,
-			OutTokens:   cfg.filterOut(),
-			KeyField:    keyField(proj, q.Where.Call),
-			Choices:     choices,
-			TruthHidden: truthCol,
-		}
-		st, err := runStage(spec, proj)
-		if err != nil {
-			return nil, err
-		}
-		var passing []int
-		for i, out := range st.Outputs {
-			if (out == q.Where.Literal) != q.Where.Negated {
-				passing = append(passing, i)
-			}
-		}
-		working = base.FilterRows(passing)
+		working = working.FilterRows(passing)
 	}
 
-	// SELECT: aggregates collapse to one row; otherwise one output row per
-	// surviving input row.
-	if hasAggregate(q) {
-		return db.execAggregates(q, working, cfg, res, runStage, &promptTok, &matchedTok)
+	// 2. Stages the WHERE residual depends on, one per distinct call.
+	outputs := map[string][]string{}
+	for _, st := range pl.PreStages {
+		outs, err := runPlannedStage(st, q.From, working, cfg, runStage)
+		if err != nil {
+			return nil, err
+		}
+		outputs[st.Call.Key()] = outs
 	}
-	return db.execRowwise(q, working, cfg, res, runStage, &promptTok, &matchedTok)
+
+	// 3. Residual WHERE over LLM outputs and plain cells; surviving rows
+	// keep their stage outputs so SELECT can reuse them without re-invoking.
+	if pl.Residual != nil {
+		passing, err := passingRows(working, pl.Residual, outputs)
+		if err != nil {
+			return nil, err
+		}
+		working = working.FilterRows(passing)
+		for k, outs := range outputs {
+			kept := make([]string, len(passing))
+			for i, p := range passing {
+				if p < len(outs) {
+					kept[i] = outs[p]
+				}
+			}
+			outputs[k] = kept
+		}
+	}
+
+	// 4. Remaining stages (SELECT projections, aggregate arguments) over
+	// surviving rows only.
+	for _, st := range pl.PostStages {
+		outs, err := runPlannedStage(st, q.From, working, cfg, runStage)
+		if err != nil {
+			return nil, err
+		}
+		outputs[st.Call.Key()] = outs
+	}
+
+	// 5. Materialize the output relation.
+	if isAggregated(q) {
+		err = buildGrouped(q, working, outputs, res)
+	} else {
+		err = buildRowwise(q, working, outputs, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// 6. ORDER BY and LIMIT shape the final relation.
+	if err := applyOrderLimit(q, res); err != nil {
+		return nil, err
+	}
+	finishStats(res, promptTok, matchedTok)
+	return res, nil
 }
 
-// execRowwise evaluates plain columns and per-row LLM projections.
-func (db *DB) execRowwise(q *Query, working *table.Table, cfg ExecConfig, res *Result,
-	runStage func(query.Spec, *table.Table) (*query.StageResult, error), promptTok, matchedTok *int64) (*Result, error) {
+// runPlannedStage projects the stage's fields, fills in the serving spec for
+// its type, and runs it on the simulator, returning per-row outputs.
+func runPlannedStage(st PlannedStage, dataset string, working *table.Table, cfg ExecConfig,
+	runStage func(query.Spec, *table.Table) (*query.StageResult, error)) ([]string, error) {
 
+	proj, err := projectCall(working, st.Call)
+	if err != nil {
+		return nil, err
+	}
+	spec := query.Spec{
+		Name:       st.Name(),
+		Dataset:    dataset,
+		Type:       st.Type,
+		UserPrompt: st.Call.Prompt,
+		KeyField:   keyField(proj, st.Call),
+	}
+	switch st.Type {
+	case query.Filter:
+		spec.OutTokens = cfg.filterOut()
+		spec.Choices, spec.TruthHidden = filterChoices(proj, st.Call.Prompt, st.Literals)
+	case query.Aggregation:
+		spec.OutTokens = cfg.aggOut()
+		truthCol := "score"
+		if _, ok := proj.Hidden("score"); !ok {
+			truthCol = synthesizeScores(proj, st.Call.Prompt)
+		}
+		spec.TruthHidden = truthCol
+	default:
+		spec.OutTokens = cfg.projOut()
+	}
+	stRes, err := runStage(spec, proj)
+	if err != nil {
+		return nil, err
+	}
+	return stRes.Outputs, nil
+}
+
+// passingRows evaluates e over every row of t, resolving LLM comparisons
+// against the outputs map (keyed by LLMCall.Key, indexed by row). Each
+// comparison leaf is resolved to its value source once, not per row.
+func passingRows(t *table.Table, e Expr, outputs map[string][]string) ([]int, error) {
+	leaf := map[*Compare]func(row int) string{}
+	var lerr error
+	walkCompares(e, func(c *Compare) {
+		if lerr != nil {
+			return
+		}
+		if c.LLM != nil {
+			outs, ok := outputs[c.LLM.Key()]
+			if !ok {
+				lerr = fmt.Errorf("sql: internal error: no stage outputs for %s", c.LLM)
+				return
+			}
+			leaf[c] = func(row int) string {
+				if row < len(outs) {
+					return outs[row]
+				}
+				return ""
+			}
+		} else {
+			ci, ok := t.ColIndex(c.Column)
+			if !ok {
+				lerr = fmt.Errorf("sql: unknown column %q in WHERE", c.Column)
+				return
+			}
+			leaf[c] = func(row int) string { return t.Cell(row, ci) }
+		}
+	})
+	if lerr != nil {
+		return nil, lerr
+	}
+	var passing []int
+	for i := 0; i < t.NumRows(); i++ {
+		if evalExpr(e, i, leaf) {
+			passing = append(passing, i)
+		}
+	}
+	return passing, nil
+}
+
+// evalExpr evaluates a boolean tree for one row; leaf holds the pre-resolved
+// value source of every comparison (passingRows built it, so every leaf of e
+// is present).
+func evalExpr(e Expr, row int, leaf map[*Compare]func(int) string) bool {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		left := evalExpr(n.Left, row, leaf)
+		if (n.Op == "AND" && !left) || (n.Op == "OR" && left) {
+			return left
+		}
+		return evalExpr(n.Right, row, leaf)
+	case *NotExpr:
+		return !evalExpr(n.Inner, row, leaf)
+	case *Compare:
+		return n.matches(leaf[n](row))
+	}
+	return false
+}
+
+// matches compares a cell or model output against the comparison's literal:
+// numerically whenever both sides parse as finite numbers ('5.0' equals a
+// score of 5, quoted or not), by exact string equality otherwise.
+func (c *Compare) matches(actual string) bool {
+	eq := actual == c.Literal
+	if !eq {
+		if av, okA := parseNum(actual); okA {
+			if lv, okL := parseNum(c.Literal); okL {
+				eq = av == lv
+			}
+		}
+	}
+	return eq != c.Negated
+}
+
+// buildRowwise materializes a non-aggregate SELECT: one output row per
+// surviving input row, mixing static columns and LLM stage outputs.
+func buildRowwise(q *Query, working *table.Table, outputs map[string][]string, res *Result) error {
 	type colSource struct {
 		name    string
 		static  int      // column index into working, or -1
@@ -161,30 +320,21 @@ func (db *DB) execRowwise(q *Query, working *table.Table, cfg ExecConfig, res *R
 				sources = append(sources, colSource{name: c, static: ci})
 			}
 		case item.LLM == nil:
-			ci, _ := working.ColIndex(item.Column)
+			ci, ok := working.ColIndex(item.Column)
+			if !ok {
+				return fmt.Errorf("sql: unknown column %q", item.Column)
+			}
 			sources = append(sources, colSource{name: aliasOr(item, item.Column), static: ci})
 		default:
-			proj, err := projectCall(working, *item.LLM)
-			if err != nil {
-				return nil, err
-			}
 			llmSeq++
-			spec := query.Spec{
-				Name:       fmt.Sprintf("sql-select-%d", llmSeq),
-				Dataset:    q.From,
-				Type:       query.Projection,
-				UserPrompt: item.LLM.Prompt,
-				OutTokens:  cfg.projOut(),
-				KeyField:   keyField(proj, *item.LLM),
-			}
-			st, err := runStage(spec, proj)
-			if err != nil {
-				return nil, err
+			outs, ok := outputs[item.LLM.Key()]
+			if !ok {
+				return fmt.Errorf("sql: internal error: no stage outputs for %s", item.LLM)
 			}
 			sources = append(sources, colSource{
 				name:    aliasOr(item, fmt.Sprintf("llm_%d", llmSeq)),
 				static:  -1,
-				outputs: st.Outputs,
+				outputs: outs,
 			})
 		}
 	}
@@ -203,59 +353,220 @@ func (db *DB) execRowwise(q *Query, working *table.Table, cfg ExecConfig, res *R
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	finishStats(res, *promptTok, *matchedTok)
-	return res, nil
+	return nil
 }
 
-// execAggregates evaluates AVG(LLM(...)) items into a single result row.
-func (db *DB) execAggregates(q *Query, working *table.Table, cfg ExecConfig, res *Result,
-	runStage func(query.Spec, *table.Table) (*query.StageResult, error), promptTok, matchedTok *int64) (*Result, error) {
+// buildGrouped materializes an aggregated SELECT: one output row per GROUP
+// BY group (or a single global group), folding plain columns and LLM stage
+// outputs through the aggregate functions.
+func buildGrouped(q *Query, working *table.Table, outputs map[string][]string, res *Result) error {
+	groupIdx := make([]int, len(q.GroupBy))
+	for i, c := range q.GroupBy {
+		ci, ok := working.ColIndex(c)
+		if !ok {
+			return fmt.Errorf("sql: unknown column %q in GROUP BY", c)
+		}
+		groupIdx[i] = ci
+	}
 
-	var row []string
-	llmSeq := 0
+	// Groups in first-appearance order; no GROUP BY = one global group, which
+	// aggregates even an empty relation into one row (COUNT(*) = 0).
+	var keys []string
+	rowsByKey := map[string][]int{}
+	if len(q.GroupBy) == 0 {
+		all := make([]int, working.NumRows())
+		for i := range all {
+			all[i] = i
+		}
+		keys = []string{""}
+		rowsByKey[""] = all
+	} else {
+		for i := 0; i < working.NumRows(); i++ {
+			var kb strings.Builder
+			for _, ci := range groupIdx {
+				kb.WriteString(working.Cell(i, ci))
+				kb.WriteByte(0)
+			}
+			k := kb.String()
+			if _, ok := rowsByKey[k]; !ok {
+				keys = append(keys, k)
+			}
+			rowsByKey[k] = append(rowsByKey[k], i)
+		}
+	}
+
+	aggSeq := 0
 	for _, item := range q.Select {
-		if !item.Avg {
-			return nil, fmt.Errorf("sql: cannot mix aggregate and non-aggregate select items without GROUP BY")
+		if item.Agg == AggNone {
+			res.Columns = append(res.Columns, aliasOr(item, item.Column))
+		} else {
+			aggSeq++
+			def := strings.ToLower(string(item.Agg)) + "_" + strconv.Itoa(aggSeq)
+			res.Columns = append(res.Columns, aliasOr(item, def))
 		}
-		proj, err := projectCall(working, *item.LLM)
-		if err != nil {
-			return nil, err
+	}
+
+	for _, k := range keys {
+		rows := rowsByKey[k]
+		out := make([]string, 0, len(q.Select))
+		for _, item := range q.Select {
+			if item.Agg == AggNone {
+				// validate guarantees the column is grouped, so it is
+				// constant within the group.
+				ci, ok := working.ColIndex(item.Column)
+				if !ok {
+					return fmt.Errorf("sql: unknown column %q", item.Column)
+				}
+				var v string
+				if len(rows) > 0 {
+					v = working.Cell(rows[0], ci)
+				}
+				out = append(out, v)
+				continue
+			}
+			vals, err := aggInputs(item, working, rows, outputs)
+			if err != nil {
+				return err
+			}
+			out = append(out, aggregate(item.Agg, item.AggStar, vals, len(rows)))
 		}
-		llmSeq++
-		truthCol := "score"
-		if _, ok := proj.Hidden("score"); !ok {
-			truthCol = synthesizeScores(proj)
+		res.Rows = append(res.Rows, out)
+	}
+	return nil
+}
+
+// aggInputs collects the values one aggregate ranges over within a group.
+func aggInputs(item SelectItem, t *table.Table, rows []int, outputs map[string][]string) ([]string, error) {
+	if item.AggStar {
+		return nil, nil // COUNT(*) needs only the group size
+	}
+	vals := make([]string, 0, len(rows))
+	if item.LLM != nil {
+		outs, ok := outputs[item.LLM.Key()]
+		if !ok {
+			return nil, fmt.Errorf("sql: internal error: no stage outputs for %s", item.LLM)
 		}
-		spec := query.Spec{
-			Name:        fmt.Sprintf("sql-avg-%d", llmSeq),
-			Dataset:     q.From,
-			Type:        query.Aggregation,
-			UserPrompt:  item.LLM.Prompt,
-			OutTokens:   cfg.aggOut(),
-			KeyField:    keyField(proj, *item.LLM),
-			TruthHidden: truthCol,
+		for _, r := range rows {
+			if r < len(outs) {
+				vals = append(vals, outs[r])
+			}
 		}
-		st, err := runStage(spec, proj)
-		if err != nil {
-			return nil, err
+		return vals, nil
+	}
+	ci, ok := t.ColIndex(item.Column)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown column %q under %s", item.Column, item.Agg)
+	}
+	for _, r := range rows {
+		vals = append(vals, t.Cell(r, ci))
+	}
+	return vals, nil
+}
+
+// aggregate folds one group's values. COUNT counts non-empty values
+// (COUNT(*) counts rows); SUM and AVG fold the values that parse as numbers;
+// MIN and MAX pick the extremum under valueLess's total order, returning the
+// chosen value verbatim.
+func aggregate(fn AggFunc, star bool, vals []string, groupSize int) string {
+	switch fn {
+	case AggCount:
+		if star {
+			return strconv.Itoa(groupSize)
 		}
-		var sum, n float64
-		for _, out := range st.Outputs {
-			if v, err := strconv.ParseFloat(out, 64); err == nil {
-				sum += v
+		n := 0
+		for _, v := range vals {
+			if v != "" {
 				n++
 			}
 		}
-		avg := 0.0
-		if n > 0 {
-			avg = sum / n
+		return strconv.Itoa(n)
+	case AggSum, AggAvg:
+		var sum float64
+		var n int
+		for _, v := range vals {
+			if f, ok := parseNum(v); ok {
+				sum += f
+				n++
+			}
 		}
-		res.Columns = append(res.Columns, aliasOr(item, fmt.Sprintf("avg_%d", llmSeq)))
-		row = append(row, strconv.FormatFloat(avg, 'f', 3, 64))
+		if fn == AggAvg {
+			if n == 0 {
+				return strconv.FormatFloat(0, 'f', 3, 64)
+			}
+			return strconv.FormatFloat(sum/float64(n), 'f', 3, 64)
+		}
+		return strconv.FormatFloat(sum, 'f', 3, 64)
+	case AggMin, AggMax:
+		if len(vals) == 0 {
+			return ""
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			if (fn == AggMin && valueLess(v, best)) || (fn == AggMax && valueLess(best, v)) {
+				best = v
+			}
+		}
+		return best
 	}
-	res.Rows = [][]string{row}
-	finishStats(res, *promptTok, *matchedTok)
-	return res, nil
+	return ""
+}
+
+// applyOrderLimit sorts the result relation by the ORDER BY key (which must
+// name an output column or alias) and truncates it to LIMIT.
+func applyOrderLimit(q *Query, res *Result) error {
+	if q.OrderBy != nil {
+		col := -1
+		for i, c := range res.Columns {
+			if c == q.OrderBy.Column {
+				col = i
+				break
+			}
+		}
+		if col < 0 {
+			return fmt.Errorf("sql: ORDER BY column %q is not an output column of the statement", q.OrderBy.Column)
+		}
+		desc := q.OrderBy.Desc
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			if desc {
+				return valueLess(res.Rows[j][col], res.Rows[i][col])
+			}
+			return valueLess(res.Rows[i][col], res.Rows[j][col])
+		})
+	}
+	if q.Limit >= 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return nil
+}
+
+// parseNum parses a finite number. "NaN" and "Inf" (which ParseFloat
+// accepts) are treated as plain strings: NaN compares as neither less nor
+// greater than anything and would break valueLess's strict weak ordering.
+func parseNum(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, false
+	}
+	return f, true
+}
+
+// valueLess is a total order over cell values: finite numbers order among
+// themselves numerically and before every non-numeric string; non-numeric
+// strings order lexicographically. Keeping it a strict weak ordering (no
+// mixed numeric/lexicographic cycles) is what sort.SliceStable and the
+// MIN/MAX fold both require.
+func valueLess(a, b string) bool {
+	af, okA := parseNum(a)
+	bf, okB := parseNum(b)
+	switch {
+	case okA && okB:
+		return af < bf
+	case okA:
+		return true
+	case okB:
+		return false
+	}
+	return a < b
 }
 
 func finishStats(res *Result, promptTok, matchedTok int64) {
@@ -264,7 +575,22 @@ func finishStats(res *Result, promptTok, matchedTok int64) {
 	}
 }
 
-// validate checks column references ahead of execution.
+// isAggregated reports whether the statement needs grouped evaluation.
+func isAggregated(q *Query) bool {
+	if len(q.GroupBy) > 0 {
+		return true
+	}
+	for _, item := range q.Select {
+		if item.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// validate checks column references and aggregate/grouping shape ahead of
+// execution. ORDER BY is resolved against the output relation at execution
+// time (aliases and star expansion are only known then).
 func validate(q *Query, t *table.Table) error {
 	checkCall := func(c LLMCall) error {
 		for _, f := range c.Fields {
@@ -274,32 +600,68 @@ func validate(q *Query, t *table.Table) error {
 		}
 		return nil
 	}
+	checkCol := func(col, ctx string) error {
+		if _, ok := t.ColIndex(col); !ok {
+			return fmt.Errorf("sql: unknown column %q%s", col, ctx)
+		}
+		return nil
+	}
+
+	grouped := map[string]bool{}
+	for _, c := range q.GroupBy {
+		if err := checkCol(c, " in GROUP BY"); err != nil {
+			return err
+		}
+		grouped[c] = true
+	}
+	aggregated := isAggregated(q)
+
 	for _, item := range q.Select {
-		if item.LLM != nil {
+		switch {
+		case item.Star:
+			if aggregated {
+				return fmt.Errorf("sql: SELECT * cannot be combined with aggregates or GROUP BY")
+			}
+		case item.Agg != AggNone:
+			if item.AggStar {
+				continue
+			}
+			if item.LLM != nil {
+				if err := checkCall(*item.LLM); err != nil {
+					return err
+				}
+			} else if err := checkCol(item.Column, fmt.Sprintf(" under %s", item.Agg)); err != nil {
+				return err
+			}
+		case item.LLM != nil:
+			if aggregated {
+				return fmt.Errorf("sql: LLM projection must be wrapped in an aggregate when aggregates or GROUP BY are present")
+			}
 			if err := checkCall(*item.LLM); err != nil {
 				return err
 			}
-		} else if !item.Star {
-			if _, ok := t.ColIndex(item.Column); !ok {
-				return fmt.Errorf("sql: unknown column %q", item.Column)
+		default:
+			if err := checkCol(item.Column, ""); err != nil {
+				return err
+			}
+			if aggregated && !grouped[item.Column] {
+				return fmt.Errorf("sql: column %q must appear in GROUP BY or under an aggregate", item.Column)
 			}
 		}
 	}
-	if q.Where != nil {
-		if err := checkCall(q.Where.Call); err != nil {
-			return err
-		}
-	}
-	return nil
-}
 
-func hasAggregate(q *Query) bool {
-	for _, item := range q.Select {
-		if item.Avg {
-			return true
+	var werr error
+	walkCompares(q.Where, func(c *Compare) {
+		if werr != nil {
+			return
 		}
-	}
-	return false
+		if c.LLM != nil {
+			werr = checkCall(*c.LLM)
+		} else {
+			werr = checkCol(c.Column, " in WHERE")
+		}
+	})
+	return werr
 }
 
 func aliasOr(item SelectItem, def string) string {
@@ -333,17 +695,30 @@ func keyField(t *table.Table, c LLMCall) string {
 	return ""
 }
 
-// filterChoices determines the answer alphabet for an ad-hoc filter. When
-// the table carries ground-truth labels containing the literal, the oracle
-// answers from them; otherwise a synthetic truth column is attached with a
-// deterministic per-row coin between the literal and its complement.
-func filterChoices(t *table.Table, literal string) (choices []string, truthCol string) {
+// filterChoices determines the answer alphabet for an ad-hoc filter stage.
+// When the table carries ground-truth labels containing every compared
+// literal, the oracle answers from them; otherwise a synthetic truth column
+// is attached with a deterministic per-row draw over all compared literals
+// plus a none-of-the-above complement, so every comparison branch of the
+// statement is reachable. The draw is seeded by the call's prompt so two
+// different questions over the same fields get independent truths.
+func filterChoices(t *table.Table, prompt string, literals []string) (choices []string, truthCol string) {
+	if len(literals) == 0 {
+		literals = []string{"Yes"}
+	}
 	if labels, ok := t.Hidden("label"); ok {
 		distinct := map[string]bool{}
 		for _, l := range labels {
 			distinct[l] = true
 		}
-		if distinct[literal] {
+		all := true
+		for _, lit := range literals {
+			if !distinct[lit] {
+				all = false
+				break
+			}
+		}
+		if all {
 			for l := range distinct {
 				choices = append(choices, l)
 			}
@@ -351,14 +726,21 @@ func filterChoices(t *table.Table, literal string) (choices []string, truthCol s
 			return choices, "label"
 		}
 	}
-	choices = []string{literal, "NOT " + literal}
+	// The none-of-the-above complement must not collide with a literal the
+	// user actually compares against, or that branch's draw is skewed and
+	// ambiguous.
+	comp := "NOT " + literals[0]
+	for slices.Contains(literals, comp) {
+		comp = "NOT " + comp
+	}
+	choices = append(append([]string(nil), literals...), comp)
+	seed := strHash(prompt)
+	for _, lit := range literals {
+		seed += uint64(len(lit))
+	}
 	vals := make([]string, t.NumRows())
 	for i := range vals {
-		if splitmix(uint64(i)*2654435761+uint64(len(literal)))%2 == 0 {
-			vals[i] = choices[0]
-		} else {
-			vals[i] = choices[1]
-		}
+		vals[i] = choices[splitmix(rowHash(t, i)+seed)%uint64(len(choices))]
 	}
 	const col = "__sql_truth"
 	if err := t.SetHidden(col, vals); err != nil {
@@ -368,12 +750,41 @@ func filterChoices(t *table.Table, literal string) (choices []string, truthCol s
 	return choices, col
 }
 
+// rowHash keys synthetic ground truth by row content rather than position,
+// so a row keeps its truth no matter how pushdown or projection reindexes
+// the stage's input table (a real model's answer does not depend on where a
+// row sits in the batch either).
+func rowHash(t *table.Table, row int) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, cell := range t.Row(row) {
+		h = fnvMix(h, cell)
+	}
+	return h
+}
+
+func strHash(s string) uint64 {
+	return fnvMix(1469598103934665603, s)
+}
+
+func fnvMix(h uint64, s string) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= 0x1f
+	h *= prime
+	return h
+}
+
 // synthesizeScores attaches a deterministic 1..5 ground-truth score column
-// for ad-hoc aggregates over tables without one.
-func synthesizeScores(t *table.Table) string {
+// for ad-hoc aggregates over tables without one, keyed by row content and
+// the call's prompt (see rowHash).
+func synthesizeScores(t *table.Table, prompt string) string {
+	seed := strHash(prompt)
 	vals := make([]string, t.NumRows())
 	for i := range vals {
-		vals[i] = strconv.Itoa(1 + int(splitmix(uint64(i)+77)%5))
+		vals[i] = strconv.Itoa(1 + int(splitmix(rowHash(t, i)+seed+77)%5))
 	}
 	const col = "__sql_score"
 	if err := t.SetHidden(col, vals); err != nil {

@@ -1,9 +1,37 @@
 // Package sqlfront implements the SQL surface of the paper's interface: a
-// lexer, parser, and executor for the LLM-query dialect its examples use —
-// SELECT lists mixing plain columns, LLM('prompt', fields...) calls and
-// AVG(LLM(...)) aggregates, with WHERE LLM(...) = 'literal' predicates.
-// Queries compile onto the query package's operator pipeline, so every SQL
-// statement benefits from request reordering transparently.
+// lexer, parser, logical planner, and executor for an LLM-query analytics
+// dialect. SELECT lists mix plain columns, LLM('prompt', fields...) calls,
+// and aggregates; WHERE clauses are boolean trees over LLM predicates and
+// plain-column comparisons; GROUP BY / ORDER BY / LIMIT shape the output.
+//
+// Grammar (case-insensitive keywords; "..." are terminals):
+//
+//	query      = "SELECT" selectList "FROM" ident
+//	             [ "WHERE" expr ]
+//	             [ "GROUP" "BY" ident { "," ident } ]
+//	             [ "ORDER" "BY" ident [ "ASC" | "DESC" ] ]
+//	             [ "LIMIT" number ] .
+//	selectList = selectItem { "," selectItem } .
+//	selectItem = "*"
+//	           | aggFunc "(" ( llm | ident | "*" ) ")" [ "AS" ident ]
+//	           | llm [ "AS" ident ]
+//	           | ident [ "AS" ident ] .
+//	aggFunc    = "AVG" | "COUNT" | "SUM" | "MIN" | "MAX" .  (* "*" only under COUNT *)
+//	llm        = "LLM" "(" string { "," field } ")" .
+//	field      = ident | "*" | ident "." ( "*" | ident ) .
+//	expr       = andExpr { "OR" andExpr } .
+//	andExpr    = notExpr { "AND" notExpr } .
+//	notExpr    = "NOT" notExpr | "(" expr ")" | comparison .
+//	comparison = ( llm | ident ) ( "=" | "<>" | "!=" ) ( string | number ) .
+//	string     = "'" chars-with-''-escape "'" .
+//	number     = digits [ "." digits ] .
+//	ident      = bare identifier (letters, digits, "_", "/")
+//	           | '"' chars-with-""-escape '"' .   (* non-empty *)
+//
+// Statements compile through a logical planner (plan.go) that pushes plain-
+// column predicates ahead of every LLM stage and runs each distinct LLM call
+// exactly once per statement, so every query benefits from request
+// reordering, predicate pushdown, and invocation dedup transparently.
 package sqlfront
 
 import (
@@ -18,6 +46,7 @@ const (
 	tokEOF tokenKind = iota
 	tokIdent
 	tokString
+	tokNumber
 	tokLParen
 	tokRParen
 	tokComma
@@ -36,6 +65,8 @@ func (k tokenKind) String() string {
 		return "identifier"
 	case tokString:
 		return "string literal"
+	case tokNumber:
+		return "number"
 	case tokLParen:
 		return "'('"
 	case tokRParen:
@@ -56,11 +87,17 @@ func (k tokenKind) String() string {
 	return "unknown token"
 }
 
-// keywords of the dialect (case-insensitive). LLM and AVG are recognized as
-// keywords so the parser can dispatch without lookahead.
+// keywords of the dialect (case-insensitive). LLM and the aggregate names are
+// recognized as keywords so the parser can dispatch without lookahead. A
+// column that collides with a keyword is still reachable via a double-quoted
+// identifier ("and", "count", ...).
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "AS": true,
-	"AVG": true, "LLM": true, "AND": true,
+	"LLM": true,
+	"AVG": true, "COUNT": true, "SUM": true, "MIN": true, "MAX": true,
+	"AND": true, "OR": true, "NOT": true,
+	"GROUP": true, "BY": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true,
 }
 
 type token struct {
@@ -134,6 +171,8 @@ func (l *lexer) next() (token, error) {
 		return l.stringLit()
 	case c == '"':
 		return l.quotedIdent()
+	case isDigit(c):
+		return l.number()
 	case isIdentStart(c):
 		return l.ident()
 	}
@@ -163,17 +202,48 @@ func (l *lexer) stringLit() (token, error) {
 }
 
 // quotedIdent scans a double-quoted identifier (for columns like
-// "beer/beerId" whose bare form would not lex).
+// "beer/beerId" whose bare form would not lex, or columns shadowed by a
+// keyword). "" escapes a literal quote, mirroring the string-literal rule,
+// and the empty identifier "" is rejected.
 func (l *lexer) quotedIdent() (token, error) {
 	start := l.i
-	l.i++
-	end := strings.IndexByte(l.src[l.i:], '"')
-	if end < 0 {
-		return token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+	l.i++ // opening quote
+	var sb strings.Builder
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		if c == '"' {
+			if l.i+1 < len(l.src) && l.src[l.i+1] == '"' {
+				sb.WriteByte('"')
+				l.i += 2
+				continue
+			}
+			l.i++
+			if sb.Len() == 0 {
+				return token{}, fmt.Errorf("sql: empty quoted identifier at offset %d", start)
+			}
+			return token{kind: tokIdent, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.i++
 	}
-	text := l.src[l.i : l.i+end]
-	l.i += end + 1
-	return token{kind: tokIdent, text: text, pos: start}, nil
+	return token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+}
+
+// number scans an unsigned numeric literal: digits with an optional single
+// fractional part (42, 4.5). The raw text is preserved so rendering
+// round-trips exactly.
+func (l *lexer) number() (token, error) {
+	start := l.i
+	for l.i < len(l.src) && isDigit(l.src[l.i]) {
+		l.i++
+	}
+	if l.i+1 < len(l.src) && l.src[l.i] == '.' && isDigit(l.src[l.i+1]) {
+		l.i++
+		for l.i < len(l.src) && isDigit(l.src[l.i]) {
+			l.i++
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.i], pos: start}, nil
 }
 
 func (l *lexer) ident() (token, error) {
@@ -190,6 +260,8 @@ func (l *lexer) ident() (token, error) {
 }
 
 func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
 func isIdentStart(c byte) bool {
 	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')

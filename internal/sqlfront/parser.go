@@ -2,6 +2,7 @@ package sqlfront
 
 import (
 	"fmt"
+	"strconv"
 )
 
 // Parse compiles one LLM-SQL statement into its AST.
@@ -60,7 +61,14 @@ func (p *parser) errf(format string, args ...interface{}) error {
 	return fmt.Errorf("sql: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
 }
 
-// query := SELECT selectList FROM ident [WHERE predicate]
+// aggFuncs maps aggregate keywords to their AggFunc.
+var aggFuncs = map[string]AggFunc{
+	"AVG": AggAvg, "COUNT": AggCount, "SUM": AggSum, "MIN": AggMin, "MAX": AggMax,
+}
+
+// query := SELECT selectList FROM ident [WHERE expr]
+//
+//	[GROUP BY ident {',' ident}] [ORDER BY ident [ASC|DESC]] [LIMIT number]
 func (p *parser) query() (*Query, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
@@ -76,14 +84,62 @@ func (p *parser) query() (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	q := &Query{Select: items, From: from.text}
+	q := &Query{Select: items, From: from.text, Limit: -1}
 	if p.atKeyword("WHERE") {
 		p.advance()
-		pred, err := p.predicate()
+		e, err := p.orExpr()
 		if err != nil {
 			return nil, err
 		}
-		q.Where = pred
+		q.Where = e
+	}
+	if p.atKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col.text)
+			if !p.at(tokComma) {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.atKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		item := &OrderItem{Column: col.text}
+		switch {
+		case p.atKeyword("ASC"):
+			p.advance()
+		case p.atKeyword("DESC"):
+			p.advance()
+			item.Desc = true
+		}
+		q.OrderBy = item
+	}
+	if p.atKeyword("LIMIT") {
+		p.advance()
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(n.text)
+		if err != nil {
+			return nil, fmt.Errorf("sql: offset %d: LIMIT must be an integer, got %q", n.pos, n.text)
+		}
+		q.Limit = v
 	}
 	return q, nil
 }
@@ -103,25 +159,41 @@ func (p *parser) selectList() ([]SelectItem, error) {
 	}
 }
 
-// selectItem := '*' | AVG '(' llm ')' [AS ident] | llm [AS ident] | ident [AS ident]
+// selectItem := '*' | aggFunc '(' (llm | ident | '*') ')' [AS ident]
+//
+//	| llm [AS ident] | ident [AS ident]
 func (p *parser) selectItem() (SelectItem, error) {
 	switch {
 	case p.at(tokStar):
 		p.advance()
 		return SelectItem{Star: true}, nil
-	case p.atKeyword("AVG"):
-		p.advance()
+	case p.cur().kind == tokKeyword && aggFuncs[p.cur().text] != AggNone:
+		fn := aggFuncs[p.advance().text]
 		if _, err := p.expect(tokLParen); err != nil {
 			return SelectItem{}, err
 		}
-		call, err := p.llmCall()
-		if err != nil {
-			return SelectItem{}, err
+		item := SelectItem{Agg: fn}
+		switch {
+		case p.at(tokStar):
+			if fn != AggCount {
+				return SelectItem{}, p.errf("'*' is only valid under COUNT, not %s", fn)
+			}
+			p.advance()
+			item.AggStar = true
+		case p.atKeyword("LLM"):
+			call, err := p.llmCall()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.LLM = &call
+		case p.at(tokIdent):
+			item.Column = p.advance().text
+		default:
+			return SelectItem{}, p.errf("expected LLM call, column, or '*' under %s, found %s %q", fn, p.cur().kind, p.cur().text)
 		}
 		if _, err := p.expect(tokRParen); err != nil {
 			return SelectItem{}, err
 		}
-		item := SelectItem{Avg: true, LLM: &call}
 		return p.withAlias(item)
 	case p.atKeyword("LLM"):
 		call, err := p.llmCall()
@@ -149,7 +221,7 @@ func (p *parser) withAlias(item SelectItem) (SelectItem, error) {
 }
 
 // llmCall := LLM '(' string (',' field)* ')'
-// field   := ident | '*' | ident '.' '*'
+// field   := ident | '*' | ident '.' ('*' | ident)
 func (p *parser) llmCall() (LLMCall, error) {
 	if err := p.expectKeyword("LLM"); err != nil {
 		return LLMCall{}, err
@@ -198,25 +270,96 @@ func (p *parser) llmCall() (LLMCall, error) {
 	return call, nil
 }
 
-// predicate := llmCall ('='|'<>') string
-func (p *parser) predicate() (*Predicate, error) {
-	call, err := p.llmCall()
+// orExpr := andExpr { OR andExpr }   (left-associative)
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
 	if err != nil {
 		return nil, err
 	}
-	var negated bool
+	for p.atKeyword("OR") {
+		p.advance()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// andExpr := notExpr { AND notExpr }   (left-associative)
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// notExpr := NOT notExpr | '(' orExpr ')' | comparison
+func (p *parser) notExpr() (Expr, error) {
+	switch {
+	case p.atKeyword("NOT"):
+		p.advance()
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	case p.at(tokLParen):
+		p.advance()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.comparison()
+}
+
+// comparison := (llm | ident) ('='|'<>'|'!=') (string | number)
+func (p *parser) comparison() (Expr, error) {
+	c := &Compare{}
+	switch {
+	case p.atKeyword("LLM"):
+		call, err := p.llmCall()
+		if err != nil {
+			return nil, err
+		}
+		c.LLM = &call
+	case p.at(tokIdent):
+		c.Column = p.advance().text
+	default:
+		return nil, p.errf("expected LLM call, column, NOT, or '(' in WHERE, found %s %q", p.cur().kind, p.cur().text)
+	}
 	switch {
 	case p.at(tokEq):
 		p.advance()
 	case p.at(tokNeq):
 		p.advance()
-		negated = true
+		c.Negated = true
 	default:
-		return nil, p.errf("expected '=' or '<>' after LLM predicate, found %s %q", p.cur().kind, p.cur().text)
+		return nil, p.errf("expected '=' or '<>' in comparison, found %s %q", p.cur().kind, p.cur().text)
 	}
-	lit, err := p.expect(tokString)
-	if err != nil {
-		return nil, err
+	switch {
+	case p.at(tokString):
+		c.Literal = p.advance().text
+	case p.at(tokNumber):
+		c.Literal = p.advance().text
+		c.IsNumber = true
+	default:
+		return nil, p.errf("expected string or number literal, found %s %q", p.cur().kind, p.cur().text)
 	}
-	return &Predicate{Call: call, Negated: negated, Literal: lit.text}, nil
+	return c, nil
 }

@@ -1,0 +1,220 @@
+package sqlfront
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/query"
+)
+
+// Plan is the logical plan of one LLM-SQL statement. The planner applies the
+// paper's two SQL-level optimizations on top of request reordering:
+//
+//   - Predicate pushdown: WHERE conjuncts free of LLM calls (Pushed) are
+//     evaluated before any model stage, so LLM filters and projections only
+//     see rows that survive the cheap plain-column predicates.
+//   - Invocation dedup: each distinct LLM(prompt, fields...) call — keyed by
+//     LLMCall.Key — runs exactly one stage per statement, no matter how many
+//     times it appears across SELECT and WHERE.
+//
+// Execution order: Pushed → PreStages → Residual → PostStages → select/
+// aggregate evaluation → ORDER BY / LIMIT.
+type Plan struct {
+	// Pushed is the conjunction of LLM-free WHERE conjuncts (nil if none).
+	Pushed Expr
+	// Residual is the WHERE remainder that needs LLM outputs (nil if none).
+	Residual Expr
+	// PreStages are the distinct LLM calls Residual depends on; they run
+	// after Pushed pruning and before Residual evaluation.
+	PreStages []PlannedStage
+	// PostStages are the remaining distinct calls (SELECT projections and
+	// aggregate arguments); they run over rows surviving the whole WHERE.
+	PostStages []PlannedStage
+}
+
+// PlannedStage is one LLM invocation the executor will run.
+type PlannedStage struct {
+	// Seq numbers stages of the same Type within the statement, starting
+	// at 1; it feeds the stage name (sql-where-1, sql-select-2, ...).
+	Seq  int
+	Call LLMCall
+	// Type fixes the stage's serving profile and output semantics: Filter
+	// (short categorical answers), Projection (free text), or Aggregation
+	// (numeric scores). A deduplicated call used several ways gets the
+	// richest type its uses need — aggregate use outranks WHERE comparison,
+	// which outranks bare projection — so one stage can serve all of them:
+	// an aggregated call emits numeric scores that WHERE can compare against
+	// numeric literals, and a WHERE-compared call projected in SELECT shows
+	// the categorical answer that passed the filter.
+	Type query.Type
+	// Literals are the distinct literals the call is compared against in
+	// WHERE (in appearance order); they anchor a filter stage's answer
+	// alphabet so every comparison branch is reachable.
+	Literals []string
+}
+
+// Name is the stage identifier used in query.Spec and serving logs.
+func (s PlannedStage) Name() string {
+	switch s.Type {
+	case query.Filter:
+		return fmt.Sprintf("sql-where-%d", s.Seq)
+	case query.Aggregation:
+		return fmt.Sprintf("sql-agg-%d", s.Seq)
+	default:
+		return fmt.Sprintf("sql-select-%d", s.Seq)
+	}
+}
+
+// Stages counts the LLM invocations the plan will run.
+func (p *Plan) Stages() int { return len(p.PreStages) + len(p.PostStages) }
+
+// BuildPlan lowers a parsed statement into its logical plan. With optimize
+// false it produces the naive plan — no pushdown, one stage per LLM call
+// occurrence — which the executor exposes (ExecConfig.Naive) so the planned
+// and unplanned costs can be compared on identical statements. It errors on
+// statements whose deduplicated stage types make a comparison unsatisfiable
+// (an aggregated call compared against a non-numeric literal).
+func BuildPlan(q *Query, optimize bool) (*Plan, error) {
+	pl := &Plan{}
+	if q.Where != nil {
+		if optimize {
+			pl.Pushed, pl.Residual = splitConjuncts(q.Where)
+		} else {
+			pl.Residual = q.Where
+		}
+	}
+
+	// Classify every distinct call by its richest use: Aggregation outranks
+	// Filter outranks Projection (see PlannedStage.Type). All literals a
+	// call is compared against are collected so a filter stage's answer
+	// alphabet covers every comparison branch.
+	typ := map[string]query.Type{}
+	literals := map[string][]string{}
+	for _, item := range q.Select {
+		if item.LLM != nil && item.Agg != AggNone {
+			typ[item.LLM.Key()] = query.Aggregation
+		}
+	}
+	walkCompares(pl.Residual, func(c *Compare) {
+		if c.LLM == nil {
+			return
+		}
+		k := c.LLM.Key()
+		if typ[k] == "" {
+			typ[k] = query.Filter
+		}
+		for _, l := range literals[k] {
+			if l == c.Literal {
+				return
+			}
+		}
+		literals[k] = append(literals[k], c.Literal)
+	})
+	for _, item := range q.Select {
+		if item.LLM == nil {
+			continue
+		}
+		if k := item.LLM.Key(); typ[k] == "" {
+			typ[k] = query.Projection
+		}
+	}
+
+	// An aggregation-typed stage emits numeric scores, so an equality
+	// against a literal that can never be a number would silently match
+	// nothing — reject the statement instead. The negated form is trivially
+	// true and stays legal.
+	var perr error
+	walkCompares(pl.Residual, func(c *Compare) {
+		if perr != nil || c.LLM == nil || c.Negated || typ[c.LLM.Key()] != query.Aggregation {
+			return
+		}
+		if _, err := strconv.ParseFloat(c.Literal, 64); err != nil {
+			perr = fmt.Errorf("sql: %s is aggregated in SELECT, so its WHERE equality needs a numeric literal, not %q", c.LLM, c.Literal)
+		}
+	})
+	if perr != nil {
+		return nil, perr
+	}
+
+	seen := map[string]bool{}
+	counters := map[query.Type]int{}
+	add := func(list *[]PlannedStage, c LLMCall) {
+		k := c.Key()
+		if optimize && seen[k] {
+			return
+		}
+		seen[k] = true
+		counters[typ[k]]++
+		*list = append(*list, PlannedStage{
+			Seq:      counters[typ[k]],
+			Call:     c,
+			Type:     typ[k],
+			Literals: literals[k],
+		})
+	}
+	walkCompares(pl.Residual, func(c *Compare) {
+		if c.LLM != nil {
+			add(&pl.PreStages, *c.LLM)
+		}
+	})
+	for _, item := range q.Select {
+		if item.LLM != nil {
+			add(&pl.PostStages, *item.LLM)
+		}
+	}
+	return pl, nil
+}
+
+// splitConjuncts partitions a WHERE tree's top-level AND conjuncts into the
+// LLM-free part (safe to evaluate before any model call) and the rest. A
+// conjunct mixing plain and LLM comparisons under OR/NOT is not splittable
+// and stays residual whole.
+func splitConjuncts(e Expr) (pushed, residual Expr) {
+	for _, c := range conjuncts(e) {
+		if containsLLM(c) {
+			residual = conjoin(residual, c)
+		} else {
+			pushed = conjoin(pushed, c)
+		}
+	}
+	return pushed, residual
+}
+
+// conjuncts flattens nested top-level ANDs into a left-to-right list.
+func conjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(conjuncts(b.Left), conjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// conjoin ANDs two optional expressions, preserving left-to-right order.
+func conjoin(a, b Expr) Expr {
+	if a == nil {
+		return b
+	}
+	return &BinaryExpr{Op: "AND", Left: a, Right: b}
+}
+
+func containsLLM(e Expr) bool {
+	found := false
+	walkCompares(e, func(c *Compare) {
+		if c.LLM != nil {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkCompares visits every comparison leaf of e in left-to-right order.
+func walkCompares(e Expr, f func(*Compare)) {
+	switch n := e.(type) {
+	case *BinaryExpr:
+		walkCompares(n.Left, f)
+		walkCompares(n.Right, f)
+	case *NotExpr:
+		walkCompares(n.Inner, f)
+	case *Compare:
+		f(n)
+	}
+}

@@ -7,33 +7,96 @@ import (
 	"testing/quick"
 )
 
-// randomQuery generates a structurally valid AST from a random source.
-func randomQuery(r *rand.Rand) *Query {
-	idents := []string{"alpha", "beta_col", "review/overall", "c3", "text"}
-	prompts := []string{"Summarize", "Is it good?", "Rate 1-5", "it's 'quoted'"}
-	randCall := func() LLMCall {
-		c := LLMCall{Prompt: prompts[r.Intn(len(prompts))]}
-		if r.Intn(5) == 0 {
-			c.AllFields = true
-			return c
-		}
-		n := 1 + r.Intn(3)
-		for i := 0; i < n; i++ {
-			c.Fields = append(c.Fields, idents[r.Intn(len(idents))])
-		}
+var (
+	propIdents  = []string{"alpha", "beta_col", "review/overall", "c3", "text", "and", "weird col"}
+	propPrompts = []string{"Summarize", "Is it good?", "Rate 1-5", "it's 'quoted'"}
+	propNumbers = []string{"0", "7", "42", "4.5"}
+	propAliases = []string{"a1", "score", "out"}
+	propAggs    = []AggFunc{AggAvg, AggCount, AggSum, AggMin, AggMax}
+)
+
+func randIdent(r *rand.Rand) string { return propIdents[r.Intn(len(propIdents))] }
+
+func randCall(r *rand.Rand) LLMCall {
+	c := LLMCall{Prompt: propPrompts[r.Intn(len(propPrompts))]}
+	if r.Intn(5) == 0 {
+		c.AllFields = true
 		return c
 	}
-	q := &Query{From: "some_table"}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		c.Fields = append(c.Fields, randIdent(r))
+	}
+	return c
+}
+
+func randCompare(r *rand.Rand) *Compare {
+	c := &Compare{Negated: r.Intn(2) == 0}
+	if r.Intn(2) == 0 {
+		call := randCall(r)
+		c.LLM = &call
+	} else {
+		c.Column = randIdent(r)
+	}
 	if r.Intn(3) == 0 {
-		// Aggregate-only select list.
+		c.IsNumber = true
+		c.Literal = propNumbers[r.Intn(len(propNumbers))]
+	} else {
+		c.Literal = propPrompts[r.Intn(len(propPrompts))]
+	}
+	return c
+}
+
+// randExpr generates a boolean WHERE tree of bounded depth.
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return randCompare(r)
+	}
+	switch r.Intn(4) {
+	case 0:
+		return &NotExpr{Inner: randExpr(r, depth-1)}
+	case 1:
+		return &BinaryExpr{Op: "OR", Left: randExpr(r, depth-1), Right: randExpr(r, depth-1)}
+	default:
+		return &BinaryExpr{Op: "AND", Left: randExpr(r, depth-1), Right: randExpr(r, depth-1)}
+	}
+}
+
+func randAggItem(r *rand.Rand) SelectItem {
+	fn := propAggs[r.Intn(len(propAggs))]
+	item := SelectItem{Agg: fn}
+	switch {
+	case fn == AggCount && r.Intn(2) == 0:
+		item.AggStar = true
+	case r.Intn(2) == 0:
+		call := randCall(r)
+		item.LLM = &call
+	default:
+		item.Column = randIdent(r)
+	}
+	if r.Intn(2) == 0 {
+		item.Alias = propAliases[r.Intn(len(propAliases))]
+	}
+	return item
+}
+
+// randomQuery generates a structurally valid AST covering the full dialect:
+// boolean WHERE trees, the five aggregates, GROUP BY, ORDER BY, and LIMIT.
+func randomQuery(r *rand.Rand) *Query {
+	q := &Query{From: "some_table", Limit: -1}
+	if r.Intn(3) == 0 {
+		// Aggregated select list, optionally grouped.
+		if r.Intn(2) == 0 {
+			n := 1 + r.Intn(2)
+			for i := 0; i < n; i++ {
+				col := randIdent(r)
+				q.GroupBy = append(q.GroupBy, col)
+				q.Select = append(q.Select, SelectItem{Column: col})
+			}
+		}
 		n := 1 + r.Intn(2)
 		for i := 0; i < n; i++ {
-			call := randCall()
-			item := SelectItem{Avg: true, LLM: &call}
-			if r.Intn(2) == 0 {
-				item.Alias = "agg_" + idents[r.Intn(len(idents))][:2]
-			}
-			q.Select = append(q.Select, item)
+			q.Select = append(q.Select, randAggItem(r))
 		}
 	} else {
 		n := 1 + r.Intn(3)
@@ -42,25 +105,33 @@ func randomQuery(r *rand.Rand) *Query {
 			case 0:
 				q.Select = append(q.Select, SelectItem{Star: true})
 			case 1:
-				q.Select = append(q.Select, SelectItem{Column: idents[r.Intn(len(idents))]})
+				item := SelectItem{Column: randIdent(r)}
+				if r.Intn(3) == 0 {
+					item.Alias = propAliases[r.Intn(len(propAliases))]
+				}
+				q.Select = append(q.Select, item)
 			default:
-				call := randCall()
-				q.Select = append(q.Select, SelectItem{LLM: &call})
+				call := randCall(r)
+				item := SelectItem{LLM: &call}
+				if r.Intn(3) == 0 {
+					item.Alias = propAliases[r.Intn(len(propAliases))]
+				}
+				q.Select = append(q.Select, item)
 			}
 		}
 	}
 	if r.Intn(2) == 0 {
-		q.Where = &Predicate{
-			Call:    randCall(),
-			Negated: r.Intn(2) == 0,
-			Literal: prompts[r.Intn(len(prompts))],
-		}
+		q.Where = randExpr(r, 3)
+	}
+	if r.Intn(3) == 0 {
+		q.OrderBy = &OrderItem{Column: randIdent(r), Desc: r.Intn(2) == 0}
+	}
+	if r.Intn(3) == 0 {
+		q.Limit = r.Intn(10)
 	}
 	return q
 }
 
-// normalizeStars collapses the lexical difference between `LLM('p', *)` and
-// `LLM('p', t.*)` — both parse to AllFields — so DeepEqual comparisons hold.
 func TestParseStringRoundTripQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -76,7 +147,7 @@ func TestParseStringRoundTripQuick(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
 	}
 }
@@ -95,7 +166,44 @@ func TestParseIdempotentRendering(t *testing.T) {
 		}
 		return once.String() == twice.String()
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanInvariantQuick checks planner invariants over random queries: the
+// planned stage count never exceeds the naive one, and dedup preserves the
+// classification of every distinct call.
+func TestPlanInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomQuery(r)
+		planned, errP := BuildPlan(q, true)
+		naive, errN := BuildPlan(q, false)
+		if (errP == nil) != (errN == nil) {
+			t.Logf("query %s: planned err %v, naive err %v", q.String(), errP, errN)
+			return false
+		}
+		if errP != nil {
+			// Unsatisfiable statement (aggregated call compared against a
+			// non-numeric literal) — rejected consistently by both plans.
+			return true
+		}
+		if planned.Stages() > naive.Stages() {
+			t.Logf("query %s: planned %d stages > naive %d", q.String(), planned.Stages(), naive.Stages())
+			return false
+		}
+		distinct := map[string]bool{}
+		for _, st := range append(append([]PlannedStage(nil), planned.PreStages...), planned.PostStages...) {
+			if distinct[st.Call.Key()] {
+				t.Logf("query %s: call %s planned twice", q.String(), st.Call)
+				return false
+			}
+			distinct[st.Call.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }
@@ -114,6 +222,7 @@ func TestParserNeverPanics(t *testing.T) {
 	f := func(s string) bool {
 		_, _ = Parse(s)
 		_, _ = Parse("SELECT " + s + " FROM t")
+		_, _ = Parse("SELECT a FROM t WHERE " + s)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

@@ -68,6 +68,44 @@ func TestLexQuotedIdentifier(t *testing.T) {
 	}
 }
 
+func TestLexQuotedIdentifierEscapes(t *testing.T) {
+	// "" inside a quoted identifier is a literal quote, mirroring the
+	// string-literal rule.
+	toks, err := lex(`"a""b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].text != `a"b` {
+		t.Errorf("escaped quoted ident = %+v", toks[0])
+	}
+}
+
+func TestLexEmptyQuotedIdentifierRejected(t *testing.T) {
+	if _, err := lex(`""`); err == nil {
+		t.Error(`lex("") succeeded, want empty-identifier error`)
+	}
+	// But "" as an escape inside a non-empty identifier is fine.
+	if _, err := lex(`""""`); err != nil {
+		t.Errorf(`lex("""") = %v, want identifier '"'`, err)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex("42 4.5 LIMIT 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokNumber || toks[0].text != "42" {
+		t.Errorf("token 0 = %+v", toks[0])
+	}
+	if toks[1].kind != tokNumber || toks[1].text != "4.5" {
+		t.Errorf("token 1 = %+v", toks[1])
+	}
+	if toks[2].kind != tokKeyword || toks[2].text != "LIMIT" {
+		t.Errorf("token 2 = %+v", toks[2])
+	}
+}
+
 func TestLexOperators(t *testing.T) {
 	got := kinds(t, "= <> !=")
 	if got[0] != tokEq || got[1] != tokNeq || got[2] != tokNeq {
@@ -122,17 +160,18 @@ func TestParseProjectionQuery(t *testing.T) {
 
 func TestParseFilterQuery(t *testing.T) {
 	q := mustParse(t, `SELECT movietitle FROM movies WHERE LLM('Suitable for kids?', movieinfo, genres) = 'Yes'`)
-	if q.Where == nil || q.Where.Literal != "Yes" || q.Where.Negated {
+	cmp, ok := q.Where.(*Compare)
+	if !ok || cmp.Literal != "Yes" || cmp.Negated || cmp.LLM == nil {
 		t.Fatalf("where = %+v", q.Where)
 	}
-	if len(q.Where.Call.Fields) != 2 {
-		t.Errorf("where fields = %v", q.Where.Call.Fields)
+	if len(cmp.LLM.Fields) != 2 {
+		t.Errorf("where fields = %v", cmp.LLM.Fields)
 	}
 }
 
 func TestParseNegatedPredicate(t *testing.T) {
 	q := mustParse(t, `SELECT a FROM t WHERE LLM('sentiment?', a) <> 'POSITIVE'`)
-	if !q.Where.Negated {
+	if !q.Where.(*Compare).Negated {
 		t.Error("negation lost")
 	}
 }
@@ -140,8 +179,89 @@ func TestParseNegatedPredicate(t *testing.T) {
 func TestParseAggregate(t *testing.T) {
 	q := mustParse(t, `SELECT AVG(LLM('Rate 1-5', reviewcontent)) AS AverageScore FROM movies`)
 	item := q.Select[0]
-	if !item.Avg || item.Alias != "AverageScore" {
+	if item.Agg != AggAvg || item.Alias != "AverageScore" {
 		t.Fatalf("item = %+v", item)
+	}
+}
+
+func TestParseAggregateForms(t *testing.T) {
+	q := mustParse(t, `SELECT COUNT(*) AS n, SUM(price), MIN(name), MAX(LLM('Rate', text)) FROM t`)
+	if q.Select[0].Agg != AggCount || !q.Select[0].AggStar || q.Select[0].Alias != "n" {
+		t.Fatalf("COUNT(*) item = %+v", q.Select[0])
+	}
+	if q.Select[1].Agg != AggSum || q.Select[1].Column != "price" {
+		t.Fatalf("SUM item = %+v", q.Select[1])
+	}
+	if q.Select[2].Agg != AggMin || q.Select[2].Column != "name" {
+		t.Fatalf("MIN item = %+v", q.Select[2])
+	}
+	if q.Select[3].Agg != AggMax || q.Select[3].LLM == nil {
+		t.Fatalf("MAX item = %+v", q.Select[3])
+	}
+}
+
+func TestParseBooleanWhereTree(t *testing.T) {
+	q := mustParse(t, `SELECT a FROM t WHERE a = 'x' OR b <> 'y' AND NOT LLM('p', c) = 'Yes'`)
+	or, ok := q.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %+v", q.Where)
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("AND should bind tighter than OR: %+v", or.Right)
+	}
+	if _, ok := and.Right.(*NotExpr); !ok {
+		t.Fatalf("NOT lost: %+v", and.Right)
+	}
+}
+
+func TestParseParenthesizedWhere(t *testing.T) {
+	q := mustParse(t, `SELECT a FROM t WHERE (a = 'x' OR b = 'y') AND c = 'z'`)
+	and, ok := q.Where.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("top = %+v", q.Where)
+	}
+	if or, ok := and.Left.(*BinaryExpr); !ok || or.Op != "OR" {
+		t.Fatalf("parens ignored: %+v", and.Left)
+	}
+}
+
+func TestParseNumericComparison(t *testing.T) {
+	q := mustParse(t, `SELECT a FROM t WHERE score = 4.5`)
+	cmp := q.Where.(*Compare)
+	if !cmp.IsNumber || cmp.Literal != "4.5" || cmp.Column != "score" {
+		t.Fatalf("cmp = %+v", cmp)
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	q := mustParse(t, `SELECT category, COUNT(*) AS n FROM t GROUP BY category ORDER BY n DESC LIMIT 3`)
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "category" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	if q.OrderBy == nil || q.OrderBy.Column != "n" || !q.OrderBy.Desc {
+		t.Fatalf("order by = %+v", q.OrderBy)
+	}
+	if q.Limit != 3 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseLimitAbsentIsMinusOne(t *testing.T) {
+	q := mustParse(t, `SELECT a FROM t`)
+	if q.Limit != -1 {
+		t.Fatalf("limit = %d, want -1 for absent LIMIT", q.Limit)
+	}
+}
+
+func TestParseKeywordCollidingColumnViaQuotes(t *testing.T) {
+	// A column named "and" is reachable through a quoted identifier.
+	q := mustParse(t, `SELECT "and" FROM t WHERE "count" = 'x'`)
+	if q.Select[0].Column != "and" {
+		t.Fatalf("select = %+v", q.Select[0])
+	}
+	if q.Where.(*Compare).Column != "count" {
+		t.Fatalf("where = %+v", q.Where)
 	}
 }
 
@@ -182,8 +302,16 @@ func TestParseErrors(t *testing.T) {
 		"SELECT LLM() FROM t",                   // no prompt
 		"SELECT LLM('p') FROM t",                // no fields
 		"SELECT a FROM t extra",                 // trailing tokens
-		"SELECT AVG(movietitle) FROM t",         // AVG of non-LLM
+		"SELECT AVG(*) FROM t",                  // '*' only under COUNT
+		"SELECT SUM() FROM t",                   // empty aggregate
 		"SELECT a FROM t WHERE LLM('x', a) = 'y' = ", // garbage tail
+		"SELECT a FROM t WHERE (a = 'x'",             // unclosed paren
+		"SELECT a FROM t WHERE a = 'x' AND",          // dangling AND
+		"SELECT a FROM t WHERE NOT",                  // dangling NOT
+		"SELECT a FROM t GROUP category",             // missing BY
+		"SELECT a FROM t ORDER BY",                   // missing key
+		"SELECT a FROM t LIMIT 4.5",                  // fractional limit
+		"SELECT a FROM t LIMIT x",                    // non-numeric limit
 	}
 	for _, src := range bad {
 		if _, err := Parse(src); err == nil {

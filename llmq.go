@@ -226,9 +226,25 @@ type (
 // NewSQLDB returns an empty LLM-SQL database.
 func NewSQLDB() *SQLDB { return sqlfront.NewDB() }
 
-// ExecSQL runs one LLM-SQL statement (the paper's interface, e.g.
-// "SELECT a, LLM('prompt', b, c) FROM t WHERE LLM('p', d) = 'Yes'") against
-// a single registered table.
+// ExecSQL runs one LLM-SQL statement against a single registered table.
+//
+// The dialect (see the sqlfront package comment for the full EBNF) is the
+// paper's interface grown into a small analytics language:
+//
+//	SELECT ticket_id, LLM('Did it help?', response, request) AS ok
+//	FROM tickets
+//	WHERE region = 'emea' AND LLM('Spam?', request) <> 'Yes'
+//
+//	SELECT region, COUNT(*) AS n, AVG(LLM('Rate 1-5', request)) AS score
+//	FROM tickets GROUP BY region ORDER BY n DESC LIMIT 3
+//
+// SELECT lists mix plain columns, LLM('prompt', fields...) calls, and the
+// aggregates COUNT/SUM/MIN/MAX/AVG (COUNT(*) included); WHERE clauses are
+// AND/OR/NOT trees over LLM and plain-column comparisons against string or
+// numeric literals. Every statement passes through a logical planner that
+// evaluates LLM-free predicates before any model call and runs each distinct
+// LLM call exactly once per statement; set SQLConfig.Naive to true to bypass
+// both optimizations and measure their benefit.
 func ExecSQL(sql string, tableName string, t *Table, cfg SQLConfig) (*SQLResult, error) {
 	db := NewSQLDB()
 	db.Register(tableName, t)

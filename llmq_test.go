@@ -137,6 +137,64 @@ func TestExecSQLFacade(t *testing.T) {
 	}
 }
 
+// TestExecSQLFullDialect runs one statement combining every grown operator —
+// a plain-column predicate pushed below an AND-joined LLM predicate, a
+// repeated (deduplicated) LLM aggregate, GROUP BY, and ORDER BY ... LIMIT —
+// and checks that the planned execution issues strictly fewer LLM calls than
+// the naive plan of the same statement.
+func TestExecSQLFullDialect(t *testing.T) {
+	tb := NewTable("ticket_id", "region", "request", "support_response")
+	for i := 0; i < 30; i++ {
+		region := "emea"
+		if i >= 18 {
+			region = "apac"
+		}
+		tb.MustAppendRow(
+			fmt.Sprintf("T-%d", 100+i),
+			region,
+			fmt.Sprintf("Request %d about an account issue", i),
+			"We reset your password and emailed a confirmation link.",
+		)
+	}
+
+	sql := `SELECT region, COUNT(*) AS n,
+	               AVG(LLM('Rate the request urgency 1-5', request)) AS urgency,
+	               MAX(LLM('Rate the request urgency 1-5', request)) AS worst
+	        FROM tickets
+	        WHERE region <> 'noise' AND LLM('Is the reply helpful?', support_response) = 'Yes'
+	        GROUP BY region ORDER BY n DESC LIMIT 2`
+	cfg := SQLConfig{Config: QueryConfig{Policy: PolicyCacheGGR}}
+	res, err := ExecSQL(sql, "tickets", tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"region", "n", "urgency", "worst"}; len(res.Columns) != 4 ||
+		res.Columns[1] != want[1] || res.Columns[2] != want[2] {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) == 0 || len(res.Rows) > 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// The repeated urgency call must have run once: one filter stage plus
+	// one aggregation stage.
+	if res.Stages != 2 {
+		t.Errorf("stages = %d, want 2", res.Stages)
+	}
+
+	naiveCfg := cfg
+	naiveCfg.Naive = true
+	naive, err := ExecSQL(sql, "tickets", tb, naiveCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Stages != 3 {
+		t.Errorf("naive stages = %d, want 3", naive.Stages)
+	}
+	if res.LLMCalls >= naive.LLMCalls {
+		t.Errorf("planner did not save calls: planned %d, naive %d", res.LLMCalls, naive.LLMCalls)
+	}
+}
+
 func TestAdviseFacade(t *testing.T) {
 	tb := NewTable("unique", "shared")
 	for i := 0; i < 20; i++ {
