@@ -1,5 +1,5 @@
-// Command llmqsql executes an LLM-SQL statement over a CSV table or one of
-// the bundled benchmark datasets, on the serving simulator.
+// Command llmqsql executes an LLM-SQL statement over CSV tables and/or the
+// bundled benchmark datasets, on the serving simulator.
 //
 // Usage:
 //
@@ -9,16 +9,20 @@
 //	llmqsql -dataset Movies -scale 0.05 \
 //	   "SELECT movietitle FROM Movies WHERE LLM('Suitable for kids?', movieinfo, genres) = 'Yes'"
 //
-//	llmqsql -dataset Movies -scale 0.05 \
-//	   "SELECT genres, COUNT(*) AS n, AVG(LLM('Rate 1-5', reviewcontent)) AS score \
-//	    FROM Movies WHERE reviewtype = 'Fresh' AND LLM('Kids?', movieinfo) = 'Yes' \
-//	    GROUP BY genres ORDER BY n DESC LIMIT 5"
+//	llmqsql -csv tickets=tickets.csv -csv customers=customers.csv \
+//	   "SELECT t.ticket_id, c.region \
+//	    FROM tickets AS t JOIN customers AS c ON t.customer_id = c.customer_id \
+//	    WHERE c.tier = 'pro' AND LLM('Did it help?', t.support_response) = 'Yes'"
 //
-// WHERE clauses are AND/OR/NOT trees over LLM and plain-column comparisons;
-// SELECT lists admit COUNT/SUM/MIN/MAX/AVG aggregates, GROUP BY, and
-// ORDER BY ... LIMIT. Statements run through the logical planner (plain
-// predicates pushed ahead of LLM stages, distinct LLM calls deduplicated);
-// -naive disables the planner so its savings can be measured.
+// Both -csv (name=path, or a bare path registered under -table) and
+// -dataset repeat, so FROM clauses may join any mix of registrations with
+// inner equi-joins, qualifying columns as alias.column. WHERE clauses are
+// AND/OR/NOT trees over LLM and plain-column comparisons; SELECT lists admit
+// COUNT/SUM/MIN/MAX/AVG aggregates, GROUP BY, and ORDER BY ... LIMIT.
+// Statements run through the logical planner (table-local plain predicates
+// pushed below the join, distinct LLM calls deduplicated, LLM filters
+// cascaded cheapest-first); -naive disables the planner so its savings can
+// be measured.
 //
 // The -policy flag switches scheduling (no-cache / cache-original /
 // cache-ggr) without changing results; serving statistics print on stderr.
@@ -28,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/datagen"
 	"repro/internal/query"
@@ -35,15 +40,26 @@ import (
 	"repro/internal/table"
 )
 
+// repeatable collects every occurrence of a repeated string flag.
+type repeatable []string
+
+func (r *repeatable) String() string { return strings.Join(*r, ",") }
+
+func (r *repeatable) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
 func main() {
+	var csvs, datasets repeatable
+	flag.Var(&csvs, "csv", "CSV to register, as name=path or a bare path named by -table (repeatable)")
+	flag.Var(&datasets, "dataset", "bundled dataset to register under its own name (repeatable)")
 	var (
-		csvPath = flag.String("csv", "", "CSV file to load as the query's table")
-		tblName = flag.String("table", "t", "name to register the CSV under")
-		dataset = flag.String("dataset", "", "bundled dataset to register instead of a CSV")
+		tblName = flag.String("table", "t", "name for a bare-path -csv registration")
 		scale   = flag.Float64("scale", 0.05, "dataset scale when -dataset is used")
 		seed    = flag.Int64("seed", 1, "dataset seed")
 		policy  = flag.String("policy", "cache-ggr", "no-cache, cache-original, or cache-ggr")
-		naive   = flag.Bool("naive", false, "disable the logical planner (no pushdown, no LLM-call dedup)")
+		naive   = flag.Bool("naive", false, "disable the logical planner (no pushdown, dedup, or cost-ordered filters)")
 		maxRows = flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	)
 	flag.Parse()
@@ -51,17 +67,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "llmqsql: exactly one SQL statement argument is required")
 		os.Exit(2)
 	}
+	if len(csvs) == 0 && len(datasets) == 0 {
+		fmt.Fprintln(os.Stderr, "llmqsql: provide at least one -csv or -dataset")
+		os.Exit(2)
+	}
 
 	db := sqlfront.NewDB()
-	switch {
-	case *dataset != "":
-		d, err := datagen.RelationalByName(*dataset, datagen.Options{Scale: *scale, Seed: *seed})
+	registered := map[string]bool{}
+	register := func(name string, t *table.Table) {
+		// Register is last-write-wins; a repeated name here is a typo that
+		// would silently shadow an earlier table.
+		if registered[name] {
+			fatal(fmt.Errorf("table %q registered twice; give each -csv/-dataset a distinct name", name))
+		}
+		registered[name] = true
+		db.Register(name, t)
+	}
+	for _, name := range datasets {
+		d, err := datagen.RelationalByName(name, datagen.Options{Scale: *scale, Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}
-		db.Register(*dataset, d.Table)
-	case *csvPath != "":
-		f, err := os.Open(*csvPath)
+		register(name, d.Table)
+	}
+	bare := 0
+	for _, spec := range csvs {
+		name, path := *tblName, spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			name, path = spec[:i], spec[i+1:]
+			if name == "" || path == "" {
+				fatal(fmt.Errorf("malformed -csv %q: want name=path", spec))
+			}
+		} else if bare++; bare > 1 {
+			fatal(fmt.Errorf("only one bare-path -csv may use -table %q; name the others as name=path", *tblName))
+		}
+		f, err := os.Open(path)
 		if err != nil {
 			fatal(err)
 		}
@@ -70,10 +110,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		db.Register(*tblName, t)
-	default:
-		fmt.Fprintln(os.Stderr, "llmqsql: provide -csv or -dataset")
-		os.Exit(2)
+		register(name, t)
 	}
 
 	cfg := sqlfront.ExecConfig{Config: query.Config{Policy: query.Policy(*policy)}, Naive: *naive}

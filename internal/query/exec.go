@@ -183,6 +183,9 @@ func OracleAnswers(spec Spec, tbl *table.Table, sched *core.Schedule, prof oracl
 func answerFor(spec Spec, tbl *table.Table, prof oracle.Profile, row core.Row) string {
 	relPos := KeyFieldRelPos(row.Cells, spec.KeyField)
 	key := uint64(row.Source)
+	if spec.RowKeys != nil {
+		key = spec.RowKeys(row.Source)
+	}
 	switch {
 	case spec.Type == Aggregation:
 		truth, err := strconv.Atoi(tbl.HiddenValue(spec.TruthHidden, row.Source))

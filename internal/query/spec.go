@@ -44,6 +44,12 @@ type Spec struct {
 	// rows passing the filter, and FilterPass the answer that passes.
 	Second     string
 	FilterPass string
+	// RowKeys, when non-nil, maps a source row to the key seeding the
+	// oracle's latent per-row draws (default: the row position). Content-
+	// derived keys (the LLM-SQL executor passes a hash of the row's cells)
+	// make a row's answer independent of how a plan slices, joins, or
+	// reorders the stage's input table — as a real model's answer would be.
+	RowKeys func(row int) uint64
 }
 
 // specs is the benchmark registry: 16 queries across 5 types, matching

@@ -7,19 +7,73 @@ import (
 
 // Query is a parsed LLM-SQL statement:
 //
-//	SELECT <items> FROM <table> [WHERE <expr>]
+//	SELECT <items> FROM <tables> [WHERE <expr>]
 //	  [GROUP BY <cols>] [ORDER BY <col> [ASC|DESC]] [LIMIT <n>]
 type Query struct {
-	Select  []SelectItem
-	From    string
+	Select []SelectItem
+	// From lists the statement's tables: the first entry is the anchor
+	// relation, every later entry carries the inner equi-join condition
+	// linking it to the tables before it.
+	From    []TableRef
 	Where   Expr       // nil when absent
-	GroupBy []string   // nil when absent
+	GroupBy []ColRef   // nil when absent
 	OrderBy *OrderItem // nil when absent
 	// Limit is -1 when absent. Note the zero value therefore means LIMIT 0
 	// (an empty result); construct queries via Parse, which sets the
 	// sentinel.
 	Limit int
 }
+
+// TableRef is one entry of a FROM clause: a registered table, an optional
+// alias, and — for every table after the first — the ON condition joining it
+// to the relation accumulated so far.
+type TableRef struct {
+	Table string
+	Alias string  // "" when absent; the effective name is Alias or Table
+	On    *JoinOn // nil for the first table
+}
+
+// Name is the effective name the table is referenced by: its alias when one
+// was given, its registered name otherwise.
+func (r TableRef) Name() string {
+	if r.Alias != "" {
+		return r.Alias
+	}
+	return r.Table
+}
+
+// JoinOn is an inner equi-join condition: one side must reference the newly
+// joined table, the other a table earlier in the FROM list (either order).
+type JoinOn struct {
+	Left, Right ColRef
+}
+
+// ColRef is a possibly table-qualified column reference (alias.column or a
+// bare column). Binding against a statement's FROM scope rewrites Column to
+// the working relation's canonical column name and clears Qualifier.
+type ColRef struct {
+	Qualifier string // "" when unqualified
+	Column    string
+}
+
+// display is the raw (unquoted) rendering of the reference; it names output
+// columns and matches ORDER BY keys against them.
+func (c ColRef) display() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Column
+	}
+	return c.Column
+}
+
+// render emits the reference as SQL, quoting each part as needed.
+func (c ColRef) render() string {
+	if c.Qualifier != "" {
+		return renderIdent(c.Qualifier) + "." + renderIdent(c.Column)
+	}
+	return renderIdent(c.Column)
+}
+
+func (c ColRef) String() string { return c.display() }
 
 // AggFunc names an aggregate function in a select item ("" = not an
 // aggregate).
@@ -38,7 +92,7 @@ const (
 // aggregate over an LLM call, a plain column, or (COUNT only) '*'.
 type SelectItem struct {
 	Star    bool
-	Column  string
+	Col     ColRef
 	LLM     *LLMCall
 	Agg     AggFunc
 	AggStar bool // COUNT(*)
@@ -49,29 +103,40 @@ type SelectItem struct {
 // expressions ({T.a, T.b} or {T.*}) whose serialization order the optimizer
 // is free to choose.
 type LLMCall struct {
-	Prompt    string
-	Fields    []string
+	Prompt string
+	Fields []ColRef
+	// AllFields is a bare '*' field expression: every column of the
+	// statement's (joined) working relation.
 	AllFields bool
+	// StarOf lists the qualifiers of alias.* field expressions: every column
+	// of that one table. Binding expands them into Fields.
+	StarOf []string
 }
 
 // Key canonically identifies a call for the planner's invocation dedup: two
 // calls with the same prompt and field expression run as one stage. Every
 // component is length-prefixed so the encoding is injective — no prompt or
 // field content (NUL bytes, a column literally named "*") can collide two
-// distinct calls into one stage.
+// distinct calls into one stage. Binding canonicalizes field references
+// first, so LLM('p', col) and LLM('p', t.col) dedup to one stage whenever
+// they resolve to the same column.
 func (c LLMCall) Key() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d:%s;%t;%d", len(c.Prompt), c.Prompt, c.AllFields, len(c.Fields))
+	fmt.Fprintf(&sb, "%d:%s;%t;%d", len(c.Prompt), c.Prompt, c.AllFields, len(c.StarOf))
+	for _, q := range c.StarOf {
+		fmt.Fprintf(&sb, ";%d:%s", len(q), q)
+	}
+	fmt.Fprintf(&sb, ";%d", len(c.Fields))
 	for _, f := range c.Fields {
-		fmt.Fprintf(&sb, ";%d:%s", len(f), f)
+		fmt.Fprintf(&sb, ";%d:%s,%d:%s", len(f.Qualifier), f.Qualifier, len(f.Column), f.Column)
 	}
 	return sb.String()
 }
 
 // OrderItem is an ORDER BY key over an output column of the statement.
 type OrderItem struct {
-	Column string
-	Desc   bool
+	Col  ColRef
+	Desc bool
 }
 
 // Expr is a boolean WHERE expression: AND/OR/NOT combinations over
@@ -96,7 +161,7 @@ type NotExpr struct {
 // string or numeric literal.
 type Compare struct {
 	LLM      *LLMCall // nil for a plain-column comparison
-	Column   string   // set when LLM is nil
+	Col      ColRef   // set when LLM is nil
 	Negated  bool     // true for <> / !=
 	Literal  string   // raw comparand text (unquoted)
 	IsNumber bool     // literal was a numeric token
@@ -139,7 +204,7 @@ func (e *Compare) String() string {
 	if e.LLM != nil {
 		lhs = e.LLM.String()
 	} else {
-		lhs = renderIdent(e.Column)
+		lhs = e.Col.render()
 	}
 	op := "="
 	if e.Negated {
@@ -171,7 +236,23 @@ func (q *Query) String() string {
 		}
 		sb.WriteString(s.String())
 	}
-	fmt.Fprintf(&sb, " FROM %s", renderIdent(q.From))
+	sb.WriteString(" FROM ")
+	for i, r := range q.From {
+		if i > 0 {
+			sb.WriteString(" JOIN ")
+		}
+		sb.WriteString(renderIdent(r.Table))
+		if r.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(renderIdent(r.Alias))
+		}
+		if r.On != nil {
+			sb.WriteString(" ON ")
+			sb.WriteString(r.On.Left.render())
+			sb.WriteString(" = ")
+			sb.WriteString(r.On.Right.render())
+		}
+	}
 	if q.Where != nil {
 		sb.WriteString(" WHERE ")
 		sb.WriteString(q.Where.String())
@@ -182,12 +263,12 @@ func (q *Query) String() string {
 			if i > 0 {
 				sb.WriteString(", ")
 			}
-			sb.WriteString(renderIdent(c))
+			sb.WriteString(c.render())
 		}
 	}
 	if q.OrderBy != nil {
 		sb.WriteString(" ORDER BY ")
-		sb.WriteString(renderIdent(q.OrderBy.Column))
+		sb.WriteString(q.OrderBy.Col.render())
 		if q.OrderBy.Desc {
 			sb.WriteString(" DESC")
 		}
@@ -211,13 +292,13 @@ func (s SelectItem) String() string {
 		case s.LLM != nil:
 			arg = s.LLM.String()
 		default:
-			arg = renderIdent(s.Column)
+			arg = s.Col.render()
 		}
 		base = fmt.Sprintf("%s(%s)", s.Agg, arg)
 	case s.LLM != nil:
 		base = s.LLM.String()
 	default:
-		base = renderIdent(s.Column)
+		base = s.Col.render()
 	}
 	if s.Alias != "" {
 		return base + " AS " + renderIdent(s.Alias)
@@ -233,9 +314,14 @@ func (c LLMCall) String() string {
 	if c.AllFields {
 		sb.WriteString(", *")
 	}
+	for _, q := range c.StarOf {
+		sb.WriteString(", ")
+		sb.WriteString(renderIdent(q))
+		sb.WriteString(".*")
+	}
 	for _, f := range c.Fields {
 		sb.WriteString(", ")
-		sb.WriteString(renderIdent(f))
+		sb.WriteString(f.render())
 	}
 	sb.WriteString(")")
 	return sb.String()

@@ -1,0 +1,299 @@
+package sqlfront
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// scope is a statement's resolved FROM clause: every referenced table, its
+// effective name, and the canonical column namespace of the joined working
+// relation. Single-table statements keep bare column names; join statements
+// qualify every working-relation column as "alias.column" so two tables may
+// share column names without collision.
+type scope struct {
+	multi   bool
+	tables  []scopedTable
+	tableOf map[string]int // canonical column name -> FROM index
+}
+
+type scopedTable struct {
+	name  string // registered table name
+	alias string // effective name: the AS alias, or the table name
+	tbl   *table.Table
+}
+
+// scopeFor resolves a parsed FROM clause against the registry.
+func (db *DB) scopeFor(q *Query) (*scope, error) {
+	sc := &scope{multi: len(q.From) > 1, tableOf: map[string]int{}}
+	seen := map[string]int{}
+	for i, ref := range q.From {
+		t, ok := db.tables[ref.Table]
+		if !ok {
+			return nil, fmt.Errorf("sql: table %q is not registered (%s)", ref.Table, db.registeredList())
+		}
+		alias := ref.Name()
+		if j, dup := seen[alias]; dup {
+			return nil, fmt.Errorf("sql: duplicate table name %q in FROM (tables %d and %d); disambiguate with AS", alias, j+1, i+1)
+		}
+		seen[alias] = i
+		sc.tables = append(sc.tables, scopedTable{name: ref.Table, alias: alias, tbl: t})
+	}
+	for i, st := range sc.tables {
+		for _, col := range st.tbl.Columns() {
+			sc.tableOf[sc.canonical(i, col)] = i
+		}
+	}
+	return sc, nil
+}
+
+func (db *DB) registeredList() string {
+	if len(db.tables) == 0 {
+		return "no tables registered"
+	}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return "registered: " + strings.Join(names, ", ")
+}
+
+// canonical is the working-relation name of table i's column col.
+func (sc *scope) canonical(i int, col string) string {
+	if !sc.multi {
+		return col
+	}
+	return sc.tables[i].alias + "." + col
+}
+
+// byAlias finds the FROM index of an effective table name.
+func (sc *scope) byAlias(alias string) (int, bool) {
+	for i, t := range sc.tables {
+		if t.alias == alias {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// resolve maps a reference to its canonical working-relation column name and
+// owning FROM index. limit bounds the visible FROM prefix (len(sc.tables)
+// for full scope); ON conditions use it so a join cannot reference tables
+// joined later.
+func (sc *scope) resolve(ref ColRef, limit int, ctx string) (string, int, error) {
+	if ref.Qualifier != "" {
+		i, ok := sc.byAlias(ref.Qualifier)
+		if !ok || i >= limit {
+			return "", 0, fmt.Errorf("sql: unknown table %q in reference %s%s", ref.Qualifier, ref.display(), ctx)
+		}
+		if _, ok := sc.tables[i].tbl.ColIndex(ref.Column); !ok {
+			return "", 0, fmt.Errorf("sql: table %q has no column %q%s", ref.Qualifier, ref.Column, ctx)
+		}
+		return sc.canonical(i, ref.Column), i, nil
+	}
+	found := -1
+	for i := 0; i < limit; i++ {
+		if _, ok := sc.tables[i].tbl.ColIndex(ref.Column); ok {
+			if found >= 0 {
+				return "", 0, fmt.Errorf("sql: ambiguous column %q (in %s and %s)%s; qualify it",
+					ref.Column, sc.tables[found].alias, sc.tables[i].alias, ctx)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return "", 0, fmt.Errorf("sql: unknown column %q%s", ref.Column, ctx)
+	}
+	return sc.canonical(found, ref.Column), found, nil
+}
+
+// lookupFor returns a column-index function resolving canonical names
+// against table i's base relation (used to evaluate predicates pushed below
+// the join).
+func (sc *scope) lookupFor(i int) func(string) (int, bool) {
+	t := sc.tables[i].tbl
+	if !sc.multi {
+		return t.ColIndex
+	}
+	prefix := sc.tables[i].alias + "."
+	return func(name string) (int, bool) {
+		if !strings.HasPrefix(name, prefix) {
+			return 0, false
+		}
+		return t.ColIndex(name[len(prefix):])
+	}
+}
+
+// boundJoin is one resolved ON condition: the canonical column of the
+// relation accumulated so far and the base-table column index of the newly
+// joined table.
+type boundJoin struct {
+	outer string
+	inner int
+}
+
+// bind resolves every column reference of q in place to its canonical
+// working-relation name (qualifiers fold into the column name), expands
+// alias.* field expressions, drops duplicate LLM fields, and resolves the
+// join conditions. ORDER BY is left untouched: it names an output column of
+// the statement, which exists only after execution.
+func bind(q *Query, sc *scope) ([]boundJoin, error) {
+	joins := make([]boundJoin, 0, len(q.From)-1)
+	for i := 1; i < len(q.From); i++ {
+		on := q.From[i].On
+		lCanon, lIdx, err := sc.resolve(on.Left, i+1, " in ON")
+		if err != nil {
+			return nil, err
+		}
+		rCanon, rIdx, err := sc.resolve(on.Right, i+1, " in ON")
+		if err != nil {
+			return nil, err
+		}
+		// Normalize so outer references the accumulated relation and inner
+		// the newly joined table.
+		outer, innerCanon := lCanon, rCanon
+		outerIdx, innerIdx := lIdx, rIdx
+		if lIdx == i {
+			outer, innerCanon = rCanon, lCanon
+			outerIdx, innerIdx = rIdx, lIdx
+		}
+		if innerIdx != i || outerIdx == i {
+			return nil, fmt.Errorf("sql: ON condition %s = %s must link table %q to a table before it in FROM",
+				on.Left.display(), on.Right.display(), q.From[i].Name())
+		}
+		base := strings.TrimPrefix(innerCanon, sc.tables[i].alias+".")
+		ci, _ := sc.tables[i].tbl.ColIndex(base)
+		joins = append(joins, boundJoin{outer: outer, inner: ci})
+	}
+
+	bindCol := func(c *ColRef, ctx string) error {
+		canon, _, err := sc.resolve(*c, len(sc.tables), ctx)
+		if err != nil {
+			return err
+		}
+		*c = ColRef{Column: canon}
+		return nil
+	}
+	bindCall := func(call *LLMCall, ctx string) error {
+		fields := make([]ColRef, 0, len(call.Fields))
+		seen := map[string]bool{}
+		add := func(canon string) {
+			// A field listed twice adds nothing to the prompt; dropping the
+			// duplicate also keeps the projected stage table well-formed.
+			if !seen[canon] {
+				seen[canon] = true
+				fields = append(fields, ColRef{Column: canon})
+			}
+		}
+		for _, f := range call.Fields {
+			canon, _, err := sc.resolve(f, len(sc.tables), ctx)
+			if err != nil {
+				return err
+			}
+			add(canon)
+		}
+		for _, qual := range call.StarOf {
+			i, ok := sc.byAlias(qual)
+			if !ok {
+				return fmt.Errorf("sql: unknown table %q in field %s.*%s", qual, qual, ctx)
+			}
+			for _, col := range sc.tables[i].tbl.Columns() {
+				add(sc.canonical(i, col))
+			}
+		}
+		call.Fields = fields
+		call.StarOf = nil
+		return nil
+	}
+
+	for i := range q.Select {
+		item := &q.Select[i]
+		switch {
+		case item.Star, item.AggStar:
+		case item.LLM != nil:
+			if err := bindCall(item.LLM, " in SELECT"); err != nil {
+				return nil, err
+			}
+		default:
+			ctx := ""
+			if item.Agg != AggNone {
+				ctx = fmt.Sprintf(" under %s", item.Agg)
+			}
+			if err := bindCol(&item.Col, ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var werr error
+	walkCompares(q.Where, func(c *Compare) {
+		if werr != nil {
+			return
+		}
+		if c.LLM != nil {
+			werr = bindCall(c.LLM, " in WHERE")
+		} else {
+			werr = bindCol(&c.Col, " in WHERE")
+		}
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	for i := range q.GroupBy {
+		if err := bindCol(&q.GroupBy[i], " in GROUP BY"); err != nil {
+			return nil, err
+		}
+	}
+	return joins, nil
+}
+
+// joinAll materializes the statement's working relation from the (already
+// table-locally filtered) base relations. Joins are inner equi-joins on
+// string equality, evaluated left to right with the accumulated relation's
+// row order preserved (matching inner rows appended in their table order),
+// so results are deterministic. Hidden ground-truth columns do not survive
+// a join — the joined row is new content, and the SQL surface's synthetic
+// truth machinery (content-keyed) covers it.
+func (sc *scope) joinAll(bases []*table.Table, joins []boundJoin) *table.Table {
+	if !sc.multi {
+		return bases[0]
+	}
+	acc := canonicalView(bases[0], sc, 0)
+	for k, j := range joins {
+		inner := bases[k+1]
+		byKey := map[string][]int{}
+		for r := 0; r < inner.NumRows(); r++ {
+			v := inner.Cell(r, j.inner)
+			byKey[v] = append(byKey[v], r)
+		}
+		cols := append(append([]string(nil), acc.Columns()...), canonicalCols(inner, sc, k+1)...)
+		out := table.New(cols...)
+		oi, _ := acc.ColIndex(j.outer)
+		for r := 0; r < acc.NumRows(); r++ {
+			for _, ir := range byKey[acc.Cell(r, oi)] {
+				out.MustAppendRow(append(append([]string(nil), acc.Row(r)...), inner.Row(ir)...)...)
+			}
+		}
+		acc = out
+	}
+	return acc
+}
+
+// canonicalView copies table i's relation under its canonical column names.
+func canonicalView(t *table.Table, sc *scope, i int) *table.Table {
+	out := table.New(canonicalCols(t, sc, i)...)
+	for r := 0; r < t.NumRows(); r++ {
+		out.MustAppendRow(t.Row(r)...)
+	}
+	return out
+}
+
+func canonicalCols(t *table.Table, sc *scope, i int) []string {
+	cols := make([]string, t.NumCols())
+	for j, c := range t.Columns() {
+		cols[j] = sc.canonical(i, c)
+	}
+	return cols
+}

@@ -13,6 +13,8 @@ import (
 )
 
 // DB is a registry of named tables that LLM-SQL statements run against.
+// Statements may join any number of registered tables (FROM a JOIN b ON ...),
+// including the same table under two aliases.
 type DB struct {
 	tables map[string]*table.Table
 }
@@ -37,13 +39,18 @@ type ExecConfig struct {
 	ProjectionOutTokens int
 	AggOutTokens        int
 	// Naive disables the logical planner's optimizations: no predicate
-	// pushdown and one LLM stage per call occurrence instead of per distinct
-	// call. Query semantics are unchanged; serving cost (LLMCalls, JCT) is
-	// not. Note the simulated oracle keys its per-row accuracy draws by row
-	// position within a stage's input table, so plans that feed a stage
-	// different row sets can disagree on stochastically-answered rows
-	// (ground truth itself is content-keyed and stable; a real model's
-	// answers would not depend on batch composition at all).
+	// pushdown (below or above the join), one LLM stage per call occurrence
+	// instead of per distinct call, occurrence order instead of cost-based
+	// filter ordering, and no cascading of residual conjuncts between
+	// stages. Query semantics are unchanged — the simulated oracle keys its
+	// per-row draws by row content, so a row's answer does not depend on
+	// which plan fed it to a stage — but serving cost (LLMCalls, JCT) is.
+	// One caveat survives, faithfully to the paper's Sec. 6.4: on relations
+	// whose name carries a non-zero oracle position coefficient (the bundled
+	// datasets), per-row accuracy still depends on where GGR serializes the
+	// key field, and reordering may choose different field orders for
+	// different stage inputs — so borderline rows can flip between plans
+	// there, exactly as a position-sensitive real model would.
 	Naive bool
 }
 
@@ -85,22 +92,35 @@ type Result struct {
 // Exec parses, plans, and runs one LLM-SQL statement. Every LLM stage is
 // scheduled under cfg.Policy, so switching the policy (no-cache / original /
 // GGR) changes only performance, never results. The logical plan additionally
-// pushes plain-column predicates ahead of all LLM stages and runs each
-// distinct LLM call once (see Plan); cfg.Naive reverts to the unoptimized
-// plan for comparison.
+// pushes table-local plain predicates below the join, places the join ahead
+// of every LLM stage, runs each distinct LLM call once, and cascades
+// cost-ordered LLM filters so expensive stages see only rows the cheap ones
+// kept (see Plan); cfg.Naive reverts to the unoptimized plan for comparison.
 func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	base, ok := db.tables[q.From]
-	if !ok {
-		return nil, fmt.Errorf("sql: unknown table %q", q.From)
-	}
-	if err := validate(q, base); err != nil {
+	return db.ExecParsed(q, cfg)
+}
+
+// ExecParsed is Exec for an already-parsed statement (callers that inspect
+// the AST first, e.g. llmq.ExecSQL, avoid parsing twice). Binding resolves
+// q's column references in place, so q is consumed: executing it again
+// requires a fresh Parse.
+func (db *DB) ExecParsed(q *Query, cfg ExecConfig) (*Result, error) {
+	sc, err := db.scopeFor(q)
+	if err != nil {
 		return nil, err
 	}
-	pl, err := BuildPlan(q, !cfg.Naive)
+	joins, err := bind(q, sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(q); err != nil {
+		return nil, err
+	}
+	pl, err := BuildPlan(q, sc, !cfg.Naive)
 	if err != nil {
 		return nil, err
 	}
@@ -121,33 +141,76 @@ func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
 		return st, nil
 	}
 
-	// 1. Pushdown: prune rows with plain-column predicates before any model
-	// call — no LLM stage ever sees a row a cheap filter can discard.
-	working := base
+	// 1. Table-local pushdown: prune each base table with its own plain
+	// predicates below the join, so the join itself is cheaper and no LLM
+	// stage ever sees a row a cheap filter can discard.
+	bases := make([]*table.Table, len(sc.tables))
+	for i := range sc.tables {
+		bases[i] = sc.tables[i].tbl
+		if pl.TablePushed[i] == nil {
+			continue
+		}
+		passing, err := passingRows(bases[i], pl.TablePushed[i], nil, sc.lookupFor(i))
+		if err != nil {
+			return nil, err
+		}
+		bases[i] = bases[i].FilterRows(passing)
+	}
+
+	// 2. Join placement: materialize the joined working relation before any
+	// model stage, so LLM calls run on the joined-and-filtered relation only.
+	working := sc.joinAll(bases, joins)
+
+	// 3. Plain predicates spanning tables run right after the join.
 	if pl.Pushed != nil {
-		passing, err := passingRows(working, pl.Pushed, nil)
+		passing, err := passingRows(working, pl.Pushed, nil, working.ColIndex)
 		if err != nil {
 			return nil, err
 		}
 		working = working.FilterRows(passing)
 	}
 
-	// 2. Stages the WHERE residual depends on, one per distinct call.
-	outputs := map[string][]string{}
-	for _, st := range pl.PreStages {
-		outs, err := runPlannedStage(st, q.From, working, cfg, runStage)
-		if err != nil {
-			return nil, err
-		}
-		outputs[st.Call.Key()] = outs
-	}
-
-	// 3. Residual WHERE over LLM outputs and plain cells; surviving rows
-	// keep their stage outputs so SELECT can reuse them without re-invoking.
+	// 4. Stages the WHERE residual depends on, one per distinct call,
+	// cheapest-rank-first (cost.go). Each residual conjunct is evaluated —
+	// and the working relation pruned — as soon as the stage outputs it
+	// needs exist, so later, costlier stages run over fewer rows. Naive mode
+	// keeps occurrence order and evaluates the WHERE in one piece at the
+	// end, exactly the unoptimized cascade.
+	pre := pl.PreStages
+	var pending []Expr
 	if pl.Residual != nil {
-		passing, err := passingRows(working, pl.Residual, outputs)
+		if cfg.Naive {
+			pending = []Expr{pl.Residual}
+		} else {
+			pre = orderStagesByCost(pre, pl.Residual, working)
+			pending = conjuncts(pl.Residual)
+		}
+	}
+	outputs := map[string][]string{}
+	applyReady := func() error {
+		var ready Expr
+		var rest []Expr
+		for _, c := range pending {
+			ok := true
+			for k := range llmKeysOf(c) {
+				if _, have := outputs[k]; !have {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = conjoin(ready, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		pending = rest
+		if ready == nil {
+			return nil
+		}
+		passing, err := passingRows(working, ready, outputs, working.ColIndex)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		working = working.FilterRows(passing)
 		for k, outs := range outputs {
@@ -159,19 +222,38 @@ func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
 			}
 			outputs[k] = kept
 		}
+		return nil
+	}
+	for _, st := range pre {
+		outs, err := runPlannedStage(st, sc.datasetName(), working, cfg, runStage)
+		if err != nil {
+			return nil, err
+		}
+		outputs[st.Call.Key()] = outs
+		// Naive mode does not cascade: every occurrence-ordered stage runs
+		// over the same unpruned relation, and the WHERE applies once below.
+		if !cfg.Naive {
+			if err := applyReady(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Naive WHERE evaluation (and the no-LLM WHERE, which waits on nothing).
+	if err := applyReady(); err != nil {
+		return nil, err
 	}
 
-	// 4. Remaining stages (SELECT projections, aggregate arguments) over
+	// 5. Remaining stages (SELECT projections, aggregate arguments) over
 	// surviving rows only.
 	for _, st := range pl.PostStages {
-		outs, err := runPlannedStage(st, q.From, working, cfg, runStage)
+		outs, err := runPlannedStage(st, sc.datasetName(), working, cfg, runStage)
 		if err != nil {
 			return nil, err
 		}
 		outputs[st.Call.Key()] = outs
 	}
 
-	// 5. Materialize the output relation.
+	// 6. Materialize the output relation.
 	if isAggregated(q) {
 		err = buildGrouped(q, working, outputs, res)
 	} else {
@@ -181,12 +263,25 @@ func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
 		return nil, err
 	}
 
-	// 6. ORDER BY and LIMIT shape the final relation.
-	if err := applyOrderLimit(q, res); err != nil {
+	// 7. ORDER BY and LIMIT shape the final relation.
+	if err := applyOrderLimit(q, res, sc); err != nil {
 		return nil, err
 	}
 	finishStats(res, promptTok, matchedTok)
 	return res, nil
+}
+
+// datasetName identifies the statement's relation in stage specs and oracle
+// seeds: the table name, or the aliases of a join.
+func (sc *scope) datasetName() string {
+	if !sc.multi {
+		return sc.tables[0].name
+	}
+	parts := make([]string, len(sc.tables))
+	for i, t := range sc.tables {
+		parts[i] = t.alias
+	}
+	return strings.Join(parts, "+")
 }
 
 // runPlannedStage projects the stage's fields, fills in the serving spec for
@@ -204,6 +299,12 @@ func runPlannedStage(st PlannedStage, dataset string, working *table.Table, cfg 
 		Type:       st.Type,
 		UserPrompt: st.Call.Prompt,
 		KeyField:   keyField(proj, st.Call),
+		// Key the oracle's latent draws by row content (not position), so a
+		// row's answer is independent of how the plan ordered, joined, or
+		// pruned the stage's input; planned and naive executions then return
+		// identical relations up to the oracle's field-position accuracy
+		// model (see ExecConfig.Naive).
+		RowKeys: rowKeysFor(proj, st.Call.Prompt),
 	}
 	switch st.Type {
 	case query.Filter:
@@ -226,10 +327,19 @@ func runPlannedStage(st PlannedStage, dataset string, working *table.Table, cfg 
 	return stRes.Outputs, nil
 }
 
+// rowKeysFor derives content-keyed oracle row keys for a stage over t,
+// seeded by the call's prompt so different questions draw independently.
+func rowKeysFor(t *table.Table, prompt string) func(int) uint64 {
+	seed := strHash(prompt)
+	return func(row int) uint64 { return splitmix(rowHash(t, row) + seed) }
+}
+
 // passingRows evaluates e over every row of t, resolving LLM comparisons
-// against the outputs map (keyed by LLMCall.Key, indexed by row). Each
-// comparison leaf is resolved to its value source once, not per row.
-func passingRows(t *table.Table, e Expr, outputs map[string][]string) ([]int, error) {
+// against the outputs map (keyed by LLMCall.Key, indexed by row) and plain
+// columns through lookup (t.ColIndex for relations in their own namespace;
+// scope.lookupFor for canonical names over a base table). Each comparison
+// leaf is resolved to its value source once, not per row.
+func passingRows(t *table.Table, e Expr, outputs map[string][]string, lookup func(string) (int, bool)) ([]int, error) {
 	leaf := map[*Compare]func(row int) string{}
 	var lerr error
 	walkCompares(e, func(c *Compare) {
@@ -249,9 +359,9 @@ func passingRows(t *table.Table, e Expr, outputs map[string][]string) ([]int, er
 				return ""
 			}
 		} else {
-			ci, ok := t.ColIndex(c.Column)
+			ci, ok := lookup(c.Col.Column)
 			if !ok {
-				lerr = fmt.Errorf("sql: unknown column %q in WHERE", c.Column)
+				lerr = fmt.Errorf("sql: unknown column %q in WHERE", c.Col.Column)
 				return
 			}
 			leaf[c] = func(row int) string { return t.Cell(row, ci) }
@@ -320,11 +430,11 @@ func buildRowwise(q *Query, working *table.Table, outputs map[string][]string, r
 				sources = append(sources, colSource{name: c, static: ci})
 			}
 		case item.LLM == nil:
-			ci, ok := working.ColIndex(item.Column)
+			ci, ok := working.ColIndex(item.Col.Column)
 			if !ok {
-				return fmt.Errorf("sql: unknown column %q", item.Column)
+				return fmt.Errorf("sql: unknown column %q", item.Col.Column)
 			}
-			sources = append(sources, colSource{name: aliasOr(item, item.Column), static: ci})
+			sources = append(sources, colSource{name: aliasOr(item, item.Col.Column), static: ci})
 		default:
 			llmSeq++
 			outs, ok := outputs[item.LLM.Key()]
@@ -362,9 +472,9 @@ func buildRowwise(q *Query, working *table.Table, outputs map[string][]string, r
 func buildGrouped(q *Query, working *table.Table, outputs map[string][]string, res *Result) error {
 	groupIdx := make([]int, len(q.GroupBy))
 	for i, c := range q.GroupBy {
-		ci, ok := working.ColIndex(c)
+		ci, ok := working.ColIndex(c.Column)
 		if !ok {
-			return fmt.Errorf("sql: unknown column %q in GROUP BY", c)
+			return fmt.Errorf("sql: unknown column %q in GROUP BY", c.Column)
 		}
 		groupIdx[i] = ci
 	}
@@ -398,7 +508,7 @@ func buildGrouped(q *Query, working *table.Table, outputs map[string][]string, r
 	aggSeq := 0
 	for _, item := range q.Select {
 		if item.Agg == AggNone {
-			res.Columns = append(res.Columns, aliasOr(item, item.Column))
+			res.Columns = append(res.Columns, aliasOr(item, item.Col.Column))
 		} else {
 			aggSeq++
 			def := strings.ToLower(string(item.Agg)) + "_" + strconv.Itoa(aggSeq)
@@ -413,9 +523,9 @@ func buildGrouped(q *Query, working *table.Table, outputs map[string][]string, r
 			if item.Agg == AggNone {
 				// validate guarantees the column is grouped, so it is
 				// constant within the group.
-				ci, ok := working.ColIndex(item.Column)
+				ci, ok := working.ColIndex(item.Col.Column)
 				if !ok {
-					return fmt.Errorf("sql: unknown column %q", item.Column)
+					return fmt.Errorf("sql: unknown column %q", item.Col.Column)
 				}
 				var v string
 				if len(rows) > 0 {
@@ -453,9 +563,9 @@ func aggInputs(item SelectItem, t *table.Table, rows []int, outputs map[string][
 		}
 		return vals, nil
 	}
-	ci, ok := t.ColIndex(item.Column)
+	ci, ok := t.ColIndex(item.Col.Column)
 	if !ok {
-		return nil, fmt.Errorf("sql: unknown column %q under %s", item.Column, item.Agg)
+		return nil, fmt.Errorf("sql: unknown column %q under %s", item.Col.Column, item.Agg)
 	}
 	for _, r := range rows {
 		vals = append(vals, t.Cell(r, ci))
@@ -511,19 +621,23 @@ func aggregate(fn AggFunc, star bool, vals []string, groupSize int) string {
 	return ""
 }
 
-// applyOrderLimit sorts the result relation by the ORDER BY key (which must
-// name an output column or alias) and truncates it to LIMIT.
-func applyOrderLimit(q *Query, res *Result) error {
+// applyOrderLimit sorts the result relation by the ORDER BY key and
+// truncates it to LIMIT. The key must name an output column of the
+// statement: an alias, a column as it was selected, or any spelling
+// (qualified or not) that resolves to a selected column's canonical name.
+func applyOrderLimit(q *Query, res *Result, sc *scope) error {
 	if q.OrderBy != nil {
-		col := -1
-		for i, c := range res.Columns {
-			if c == q.OrderBy.Column {
-				col = i
-				break
+		name := q.OrderBy.Col.display()
+		col := slices.Index(res.Columns, name)
+		if col < 0 && sc != nil {
+			// Not an alias or verbatim header; try the reference's canonical
+			// working-relation name (ORDER BY request ↔ SELECT t.request).
+			if canon, _, err := sc.resolve(q.OrderBy.Col, len(sc.tables), ""); err == nil {
+				col = slices.Index(res.Columns, canon)
 			}
 		}
 		if col < 0 {
-			return fmt.Errorf("sql: ORDER BY column %q is not an output column of the statement", q.OrderBy.Column)
+			return fmt.Errorf("sql: ORDER BY column %q is not an output column of the statement", name)
 		}
 		desc := q.OrderBy.Desc
 		sort.SliceStable(res.Rows, func(i, j int) bool {
@@ -588,31 +702,14 @@ func isAggregated(q *Query) bool {
 	return false
 }
 
-// validate checks column references and aggregate/grouping shape ahead of
-// execution. ORDER BY is resolved against the output relation at execution
-// time (aliases and star expansion are only known then).
-func validate(q *Query, t *table.Table) error {
-	checkCall := func(c LLMCall) error {
-		for _, f := range c.Fields {
-			if _, ok := t.ColIndex(f); !ok {
-				return fmt.Errorf("sql: unknown column %q in LLM call", f)
-			}
-		}
-		return nil
-	}
-	checkCol := func(col, ctx string) error {
-		if _, ok := t.ColIndex(col); !ok {
-			return fmt.Errorf("sql: unknown column %q%s", col, ctx)
-		}
-		return nil
-	}
-
+// validate checks the aggregate/grouping shape of a bound statement; column
+// existence and ambiguity were already settled by bind. ORDER BY is resolved
+// against the output relation at execution time (aliases and star expansion
+// are only known then).
+func validate(q *Query) error {
 	grouped := map[string]bool{}
 	for _, c := range q.GroupBy {
-		if err := checkCol(c, " in GROUP BY"); err != nil {
-			return err
-		}
-		grouped[c] = true
+		grouped[c.Column] = true
 	}
 	aggregated := isAggregated(q)
 
@@ -623,45 +720,18 @@ func validate(q *Query, t *table.Table) error {
 				return fmt.Errorf("sql: SELECT * cannot be combined with aggregates or GROUP BY")
 			}
 		case item.Agg != AggNone:
-			if item.AggStar {
-				continue
-			}
-			if item.LLM != nil {
-				if err := checkCall(*item.LLM); err != nil {
-					return err
-				}
-			} else if err := checkCol(item.Column, fmt.Sprintf(" under %s", item.Agg)); err != nil {
-				return err
-			}
+			// Any aggregate argument shape is legal.
 		case item.LLM != nil:
 			if aggregated {
 				return fmt.Errorf("sql: LLM projection must be wrapped in an aggregate when aggregates or GROUP BY are present")
 			}
-			if err := checkCall(*item.LLM); err != nil {
-				return err
-			}
 		default:
-			if err := checkCol(item.Column, ""); err != nil {
-				return err
-			}
-			if aggregated && !grouped[item.Column] {
-				return fmt.Errorf("sql: column %q must appear in GROUP BY or under an aggregate", item.Column)
+			if aggregated && !grouped[item.Col.Column] {
+				return fmt.Errorf("sql: column %q must appear in GROUP BY or under an aggregate", item.Col.Column)
 			}
 		}
 	}
-
-	var werr error
-	walkCompares(q.Where, func(c *Compare) {
-		if werr != nil {
-			return
-		}
-		if c.LLM != nil {
-			werr = checkCall(*c.LLM)
-		} else {
-			werr = checkCol(c.Column, " in WHERE")
-		}
-	})
-	return werr
+	return nil
 }
 
 func aliasOr(item SelectItem, def string) string {
@@ -679,14 +749,18 @@ func projectCall(t *table.Table, c LLMCall) (*table.Table, error) {
 	if c.AllFields {
 		return t.Select(t.Columns()...)
 	}
-	return t.Select(c.Fields...)
+	cols := make([]string, len(c.Fields))
+	for i, f := range c.Fields {
+		cols[i] = f.Column
+	}
+	return t.Select(cols...)
 }
 
 // keyField picks the field the oracle's position model watches: the first
 // listed field (the paper's examples put the semantic key first).
 func keyField(t *table.Table, c LLMCall) string {
 	if len(c.Fields) > 0 {
-		return c.Fields[0]
+		return c.Fields[0].Column
 	}
 	cols := t.Columns()
 	if len(cols) > 0 {
@@ -726,14 +800,7 @@ func filterChoices(t *table.Table, prompt string, literals []string) (choices []
 			return choices, "label"
 		}
 	}
-	// The none-of-the-above complement must not collide with a literal the
-	// user actually compares against, or that branch's draw is skewed and
-	// ambiguous.
-	comp := "NOT " + literals[0]
-	for slices.Contains(literals, comp) {
-		comp = "NOT " + comp
-	}
-	choices = append(append([]string(nil), literals...), comp)
+	choices = append(append([]string(nil), literals...), complementLiteral(literals))
 	seed := strHash(prompt)
 	for _, lit := range literals {
 		seed += uint64(len(lit))
@@ -750,10 +817,22 @@ func filterChoices(t *table.Table, prompt string, literals []string) (choices []
 	return choices, col
 }
 
-// rowHash keys synthetic ground truth by row content rather than position,
-// so a row keeps its truth no matter how pushdown or projection reindexes
-// the stage's input table (a real model's answer does not depend on where a
-// row sits in the batch either).
+// complementLiteral is the none-of-the-above answer of a synthetic filter
+// alphabet. It must not collide with a literal the user actually compares
+// against, or that branch's draw is skewed and ambiguous.
+func complementLiteral(literals []string) string {
+	comp := "NOT " + literals[0]
+	for slices.Contains(literals, comp) {
+		comp = "NOT " + comp
+	}
+	return comp
+}
+
+// rowHash keys synthetic ground truth — and, via Spec.RowKeys, the oracle's
+// latent answer draws — by row content rather than position, so a row keeps
+// its truth and its answer no matter how pushdown, joins, or projection
+// reindex the stage's input table (a real model's answer does not depend on
+// where a row sits in the batch either).
 func rowHash(t *table.Table, row int) uint64 {
 	var h uint64 = 1469598103934665603
 	for _, cell := range t.Row(row) {

@@ -1,37 +1,47 @@
 // Package sqlfront implements the SQL surface of the paper's interface: a
 // lexer, parser, logical planner, and executor for an LLM-query analytics
-// dialect. SELECT lists mix plain columns, LLM('prompt', fields...) calls,
-// and aggregates; WHERE clauses are boolean trees over LLM predicates and
-// plain-column comparisons; GROUP BY / ORDER BY / LIMIT shape the output.
+// dialect. FROM clauses join any number of registered tables with inner
+// equi-joins; SELECT lists mix plain columns, LLM('prompt', fields...)
+// calls, and aggregates; WHERE clauses are boolean trees over LLM predicates
+// and plain-column comparisons; GROUP BY / ORDER BY / LIMIT shape the
+// output. Columns may be qualified with the table name or alias
+// (alias.column) anywhere a column is legal.
 //
 // Grammar (case-insensitive keywords; "..." are terminals):
 //
-//	query      = "SELECT" selectList "FROM" ident
+//	query      = "SELECT" selectList "FROM" tableRef { "JOIN" tableRef "ON" colRef "=" colRef }
 //	             [ "WHERE" expr ]
-//	             [ "GROUP" "BY" ident { "," ident } ]
-//	             [ "ORDER" "BY" ident [ "ASC" | "DESC" ] ]
+//	             [ "GROUP" "BY" colRef { "," colRef } ]
+//	             [ "ORDER" "BY" colRef [ "ASC" | "DESC" ] ]
 //	             [ "LIMIT" number ] .
+//	tableRef   = ident [ "AS" ident ] .
 //	selectList = selectItem { "," selectItem } .
 //	selectItem = "*"
-//	           | aggFunc "(" ( llm | ident | "*" ) ")" [ "AS" ident ]
+//	           | aggFunc "(" ( llm | colRef | "*" ) ")" [ "AS" ident ]
 //	           | llm [ "AS" ident ]
-//	           | ident [ "AS" ident ] .
+//	           | colRef [ "AS" ident ] .
 //	aggFunc    = "AVG" | "COUNT" | "SUM" | "MIN" | "MAX" .  (* "*" only under COUNT *)
 //	llm        = "LLM" "(" string { "," field } ")" .
-//	field      = ident | "*" | ident "." ( "*" | ident ) .
+//	field      = colRef | "*" | ident "." "*" .
+//	colRef     = ident [ "." ident ] .
 //	expr       = andExpr { "OR" andExpr } .
 //	andExpr    = notExpr { "AND" notExpr } .
 //	notExpr    = "NOT" notExpr | "(" expr ")" | comparison .
-//	comparison = ( llm | ident ) ( "=" | "<>" | "!=" ) ( string | number ) .
+//	comparison = ( llm | colRef ) ( "=" | "<>" | "!=" ) ( string | number ) .
 //	string     = "'" chars-with-''-escape "'" .
 //	number     = digits [ "." digits ] .
 //	ident      = bare identifier (letters, digits, "_", "/")
 //	           | '"' chars-with-""-escape '"' .   (* non-empty *)
 //
-// Statements compile through a logical planner (plan.go) that pushes plain-
-// column predicates ahead of every LLM stage and runs each distinct LLM call
-// exactly once per statement, so every query benefits from request
-// reordering, predicate pushdown, and invocation dedup transparently.
+// Statements compile through a logical planner (plan.go) that pushes each
+// table-local LLM-free predicate below the join onto its base table, places
+// the join ahead of every model stage so LLM calls see only the
+// joined-and-filtered relation, runs each distinct LLM call exactly once per
+// statement, and orders multiple LLM filter stages cheapest-first using
+// estimated per-call prompt cost and selectivity (cost.go). Every query
+// therefore benefits from request reordering, predicate and join pushdown,
+// invocation dedup, and cost-based filter ordering transparently;
+// ExecConfig.Naive reverts all of it for A/B measurement.
 package sqlfront
 
 import (
@@ -93,6 +103,7 @@ func (k tokenKind) String() string {
 // identifier ("and", "count", ...).
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "AS": true,
+	"JOIN": true, "ON": true,
 	"LLM": true,
 	"AVG": true, "COUNT": true, "SUM": true, "MIN": true, "MAX": true,
 	"AND": true, "OR": true, "NOT": true,

@@ -66,9 +66,10 @@ var aggFuncs = map[string]AggFunc{
 	"AVG": AggAvg, "COUNT": AggCount, "SUM": AggSum, "MIN": AggMin, "MAX": AggMax,
 }
 
-// query := SELECT selectList FROM ident [WHERE expr]
+// query := SELECT selectList FROM tableRef {JOIN tableRef ON colRef '=' colRef}
 //
-//	[GROUP BY ident {',' ident}] [ORDER BY ident [ASC|DESC]] [LIMIT number]
+//	[WHERE expr] [GROUP BY colRef {',' colRef}]
+//	[ORDER BY colRef [ASC|DESC]] [LIMIT number]
 func (p *parser) query() (*Query, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
@@ -80,11 +81,11 @@ func (p *parser) query() (*Query, error) {
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
 	}
-	from, err := p.expect(tokIdent)
+	from, err := p.fromClause()
 	if err != nil {
 		return nil, err
 	}
-	q := &Query{Select: items, From: from.text, Limit: -1}
+	q := &Query{Select: items, From: from, Limit: -1}
 	if p.atKeyword("WHERE") {
 		p.advance()
 		e, err := p.orExpr()
@@ -99,11 +100,11 @@ func (p *parser) query() (*Query, error) {
 			return nil, err
 		}
 		for {
-			col, err := p.expect(tokIdent)
+			col, err := p.colRef()
 			if err != nil {
 				return nil, err
 			}
-			q.GroupBy = append(q.GroupBy, col.text)
+			q.GroupBy = append(q.GroupBy, col)
 			if !p.at(tokComma) {
 				break
 			}
@@ -115,11 +116,11 @@ func (p *parser) query() (*Query, error) {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		col, err := p.expect(tokIdent)
+		col, err := p.colRef()
 		if err != nil {
 			return nil, err
 		}
-		item := &OrderItem{Column: col.text}
+		item := &OrderItem{Col: col}
 		switch {
 		case p.atKeyword("ASC"):
 			p.advance()
@@ -144,6 +145,74 @@ func (p *parser) query() (*Query, error) {
 	return q, nil
 }
 
+// fromClause := tableRef { JOIN tableRef ON colRef '=' colRef }
+// tableRef   := ident [ AS ident ]
+func (p *parser) fromClause() ([]TableRef, error) {
+	first, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	from := []TableRef{first}
+	for p.atKeyword("JOIN") {
+		p.advance()
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return nil, err
+		}
+		right, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		ref.On = &JoinOn{Left: left, Right: right}
+		from = append(from, ref)
+	}
+	return from, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name.text}
+	if p.atKeyword("AS") {
+		p.advance()
+		alias, err := p.expect(tokIdent)
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias.text
+	}
+	return ref, nil
+}
+
+// colRef := ident [ '.' ident ]
+func (p *parser) colRef() (ColRef, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.at(tokDot) {
+		p.advance()
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: name.text, Column: col.text}, nil
+	}
+	return ColRef{Column: name.text}, nil
+}
+
 func (p *parser) selectList() ([]SelectItem, error) {
 	var items []SelectItem
 	for {
@@ -159,9 +228,9 @@ func (p *parser) selectList() ([]SelectItem, error) {
 	}
 }
 
-// selectItem := '*' | aggFunc '(' (llm | ident | '*') ')' [AS ident]
+// selectItem := '*' | aggFunc '(' (llm | colRef | '*') ')' [AS ident]
 //
-//	| llm [AS ident] | ident [AS ident]
+//	| llm [AS ident] | colRef [AS ident]
 func (p *parser) selectItem() (SelectItem, error) {
 	switch {
 	case p.at(tokStar):
@@ -187,7 +256,11 @@ func (p *parser) selectItem() (SelectItem, error) {
 			}
 			item.LLM = &call
 		case p.at(tokIdent):
-			item.Column = p.advance().text
+			col, err := p.colRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Col = col
 		default:
 			return SelectItem{}, p.errf("expected LLM call, column, or '*' under %s, found %s %q", fn, p.cur().kind, p.cur().text)
 		}
@@ -202,8 +275,11 @@ func (p *parser) selectItem() (SelectItem, error) {
 		}
 		return p.withAlias(SelectItem{LLM: &call})
 	case p.at(tokIdent):
-		col := p.advance().text
-		return p.withAlias(SelectItem{Column: col})
+		col, err := p.colRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return p.withAlias(SelectItem{Col: col})
 	}
 	return SelectItem{}, p.errf("expected select item, found %s %q", p.cur().kind, p.cur().text)
 }
@@ -221,7 +297,7 @@ func (p *parser) withAlias(item SelectItem) (SelectItem, error) {
 }
 
 // llmCall := LLM '(' string (',' field)* ')'
-// field   := ident | '*' | ident '.' ('*' | ident)
+// field   := colRef | '*' | ident '.' '*'
 func (p *parser) llmCall() (LLMCall, error) {
 	if err := p.expectKeyword("LLM"); err != nil {
 		return LLMCall{}, err
@@ -242,21 +318,22 @@ func (p *parser) llmCall() (LLMCall, error) {
 			call.AllFields = true
 		case p.at(tokIdent):
 			name := p.advance().text
-			// Allow table-qualified forms: t.col and t.* .
+			// Table-qualified forms: t.col and t.* .
 			if p.at(tokDot) {
 				p.advance()
 				if p.at(tokStar) {
 					p.advance()
-					call.AllFields = true
+					call.StarOf = append(call.StarOf, name)
 					break
 				}
 				col, err := p.expect(tokIdent)
 				if err != nil {
 					return LLMCall{}, err
 				}
-				name = col.text
+				call.Fields = append(call.Fields, ColRef{Qualifier: name, Column: col.text})
+				break
 			}
-			call.Fields = append(call.Fields, name)
+			call.Fields = append(call.Fields, ColRef{Column: name})
 		default:
 			return LLMCall{}, p.errf("expected field name or '*', found %s %q", p.cur().kind, p.cur().text)
 		}
@@ -264,7 +341,7 @@ func (p *parser) llmCall() (LLMCall, error) {
 	if _, err := p.expect(tokRParen); err != nil {
 		return LLMCall{}, err
 	}
-	if !call.AllFields && len(call.Fields) == 0 {
+	if !call.AllFields && len(call.StarOf) == 0 && len(call.Fields) == 0 {
 		return LLMCall{}, p.errf("LLM call needs at least one field expression")
 	}
 	return call, nil
@@ -328,7 +405,7 @@ func (p *parser) notExpr() (Expr, error) {
 	return p.comparison()
 }
 
-// comparison := (llm | ident) ('='|'<>'|'!=') (string | number)
+// comparison := (llm | colRef) ('='|'<>'|'!=') (string | number)
 func (p *parser) comparison() (Expr, error) {
 	c := &Compare{}
 	switch {
@@ -339,7 +416,11 @@ func (p *parser) comparison() (Expr, error) {
 		}
 		c.LLM = &call
 	case p.at(tokIdent):
-		c.Column = p.advance().text
+		col, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		c.Col = col
 	default:
 		return nil, p.errf("expected LLM call, column, NOT, or '(' in WHERE, found %s %q", p.cur().kind, p.cur().text)
 	}

@@ -8,24 +8,44 @@ import (
 )
 
 // Plan is the logical plan of one LLM-SQL statement. The planner applies the
-// paper's two SQL-level optimizations on top of request reordering:
+// paper's SQL-level optimizations on top of request reordering:
 //
-//   - Predicate pushdown: WHERE conjuncts free of LLM calls (Pushed) are
-//     evaluated before any model stage, so LLM filters and projections only
-//     see rows that survive the cheap plain-column predicates.
+//   - Predicate pushdown below the join: WHERE conjuncts free of LLM calls
+//     that reference a single table (TablePushed) are evaluated on that base
+//     table before the join; LLM-free conjuncts spanning tables (Pushed) run
+//     right after the join. Either way, no model stage ever sees a row a
+//     cheap plain-column predicate can discard.
+//   - Join placement before every LLM stage: the executor materializes the
+//     joined working relation first, so model calls run over the
+//     joined-and-filtered relation only.
 //   - Invocation dedup: each distinct LLM(prompt, fields...) call — keyed by
-//     LLMCall.Key — runs exactly one stage per statement, no matter how many
-//     times it appears across SELECT and WHERE.
+//     LLMCall.Key after binding, so qualified and unqualified spellings of
+//     the same column collapse — runs exactly one stage per statement, no
+//     matter how many times it appears across SELECT and WHERE.
+//   - Cost-based filter ordering: the executor reorders PreStages
+//     cheapest-rank-first (cost.go) and evaluates each residual conjunct as
+//     soon as its stage outputs exist, so expensive filters run over rows
+//     already pruned by cheap, selective ones. PreStages are recorded here
+//     in occurrence order; ordering needs the materialized working relation
+//     for its cost sample and therefore happens at execution time.
 //
-// Execution order: Pushed → PreStages → Residual → PostStages → select/
+// Execution order: TablePushed (per base table) → join → Pushed → PreStages
+// interleaved with residual-conjunct evaluation → PostStages → select/
 // aggregate evaluation → ORDER BY / LIMIT.
 type Plan struct {
-	// Pushed is the conjunction of LLM-free WHERE conjuncts (nil if none).
+	// TablePushed[i] is the conjunction of LLM-free WHERE conjuncts
+	// referencing only columns of q.From[i] (nil if none), evaluated on the
+	// base table below the join.
+	TablePushed []Expr
+	// Pushed is the conjunction of LLM-free conjuncts spanning more than one
+	// table (nil if none), evaluated after the join and before any LLM
+	// stage.
 	Pushed Expr
 	// Residual is the WHERE remainder that needs LLM outputs (nil if none).
 	Residual Expr
-	// PreStages are the distinct LLM calls Residual depends on; they run
-	// after Pushed pruning and before Residual evaluation.
+	// PreStages are the distinct LLM calls Residual depends on, in
+	// occurrence order; they run after all pushdown pruning and before the
+	// residual conjuncts that consume them.
 	PreStages []PlannedStage
 	// PostStages are the remaining distinct calls (SELECT projections and
 	// aggregate arguments); they run over rows surviving the whole WHERE.
@@ -68,17 +88,33 @@ func (s PlannedStage) Name() string {
 // Stages counts the LLM invocations the plan will run.
 func (p *Plan) Stages() int { return len(p.PreStages) + len(p.PostStages) }
 
-// BuildPlan lowers a parsed statement into its logical plan. With optimize
-// false it produces the naive plan — no pushdown, one stage per LLM call
-// occurrence — which the executor exposes (ExecConfig.Naive) so the planned
-// and unplanned costs can be compared on identical statements. It errors on
-// statements whose deduplicated stage types make a comparison unsatisfiable
-// (an aggregated call compared against a non-numeric literal).
-func BuildPlan(q *Query, optimize bool) (*Plan, error) {
-	pl := &Plan{}
+// BuildPlan lowers a parsed (and, when sc is non-nil, bound) statement into
+// its logical plan. With optimize false it produces the naive plan — no
+// pushdown, one stage per LLM call occurrence, occurrence-ordered — which
+// the executor exposes (ExecConfig.Naive) so the planned and unplanned costs
+// can be compared on identical statements. A nil sc plans as if the
+// statement had a single table (every column lands on FROM index 0), which
+// is exact for single-table statements. It errors on statements whose
+// deduplicated stage types make a comparison unsatisfiable (an aggregated
+// call compared against a non-numeric literal).
+func BuildPlan(q *Query, sc *scope, optimize bool) (*Plan, error) {
+	n := len(q.From)
+	if n == 0 {
+		n = 1
+	}
+	pl := &Plan{TablePushed: make([]Expr, n)}
 	if q.Where != nil {
 		if optimize {
-			pl.Pushed, pl.Residual = splitConjuncts(q.Where)
+			for _, c := range conjuncts(q.Where) {
+				switch idx := homeTable(c, sc); {
+				case idx == tableLLM:
+					pl.Residual = conjoin(pl.Residual, c)
+				case idx == tableMulti:
+					pl.Pushed = conjoin(pl.Pushed, c)
+				default:
+					pl.TablePushed[idx] = conjoin(pl.TablePushed[idx], c)
+				}
+			}
 		} else {
 			pl.Residual = q.Where
 		}
@@ -165,19 +201,41 @@ func BuildPlan(q *Query, optimize bool) (*Plan, error) {
 	return pl, nil
 }
 
-// splitConjuncts partitions a WHERE tree's top-level AND conjuncts into the
-// LLM-free part (safe to evaluate before any model call) and the rest. A
-// conjunct mixing plain and LLM comparisons under OR/NOT is not splittable
-// and stays residual whole.
-func splitConjuncts(e Expr) (pushed, residual Expr) {
-	for _, c := range conjuncts(e) {
-		if containsLLM(c) {
-			residual = conjoin(residual, c)
-		} else {
-			pushed = conjoin(pushed, c)
-		}
+// Sentinel results of homeTable.
+const (
+	tableLLM   = -1 // conjunct contains an LLM call: not pushable
+	tableMulti = -2 // LLM-free but references more than one table
+)
+
+// homeTable classifies one conjunct: the single FROM index all its column
+// references live in, tableMulti when they span tables, or tableLLM when the
+// conjunct contains a model call. With a nil scope every column maps to
+// index 0.
+func homeTable(e Expr, sc *scope) int {
+	if containsLLM(e) {
+		return tableLLM
 	}
-	return pushed, residual
+	home := -1
+	multi := false
+	walkCompares(e, func(c *Compare) {
+		idx := 0
+		if sc != nil {
+			if i, ok := sc.tableOf[c.Col.Column]; ok {
+				idx = i
+			}
+		}
+		if home >= 0 && idx != home {
+			multi = true
+		}
+		home = idx
+	})
+	if multi {
+		return tableMulti
+	}
+	if home < 0 {
+		home = 0
+	}
+	return home
 }
 
 // conjuncts flattens nested top-level ANDs into a left-to-right list.
@@ -204,6 +262,18 @@ func containsLLM(e Expr) bool {
 		}
 	})
 	return found
+}
+
+// llmKeysOf collects the distinct LLM call keys a conjunct's evaluation
+// depends on.
+func llmKeysOf(e Expr) map[string]bool {
+	keys := map[string]bool{}
+	walkCompares(e, func(c *Compare) {
+		if c.LLM != nil {
+			keys[c.LLM.Key()] = true
+		}
+	})
+	return keys
 }
 
 // walkCompares visits every comparison leaf of e in left-to-right order.

@@ -50,9 +50,18 @@ func catTicketsTable() *table.Table {
 
 // --- planner -----------------------------------------------------------------
 
+// cols builds an unqualified ColRef list from bare column names.
+func cols(names ...string) []ColRef {
+	out := make([]ColRef, len(names))
+	for i, n := range names {
+		out[i] = ColRef{Column: n}
+	}
+	return out
+}
+
 func mustPlan(t *testing.T, q *Query, optimize bool) *Plan {
 	t.Helper()
-	pl, err := BuildPlan(q, optimize)
+	pl, err := BuildPlan(q, nil, optimize)
 	if err != nil {
 		t.Fatalf("BuildPlan: %v", err)
 	}
@@ -62,14 +71,14 @@ func mustPlan(t *testing.T, q *Query, optimize bool) *Plan {
 func TestBuildPlanSplitsConjuncts(t *testing.T) {
 	q := mustParse(t, `SELECT ticket_id FROM t WHERE category = 'billing' AND LLM('help?', request) = 'Yes' AND priority <> '2'`)
 	pl := mustPlan(t, q, true)
-	if pl.Pushed == nil || pl.Residual == nil {
+	if pl.TablePushed[0] == nil || pl.Residual == nil {
 		t.Fatalf("plan = %+v", pl)
 	}
-	if got := len(conjuncts(pl.Pushed)); got != 2 {
-		t.Errorf("pushed conjuncts = %d, want 2 (%s)", got, pl.Pushed)
+	if got := len(conjuncts(pl.TablePushed[0])); got != 2 {
+		t.Errorf("pushed conjuncts = %d, want 2 (%s)", got, pl.TablePushed[0])
 	}
-	if containsLLM(pl.Pushed) {
-		t.Errorf("LLM call leaked into pushed predicate: %s", pl.Pushed)
+	if containsLLM(pl.TablePushed[0]) {
+		t.Errorf("LLM call leaked into pushed predicate: %s", pl.TablePushed[0])
 	}
 	if !containsLLM(pl.Residual) {
 		t.Errorf("residual lost its LLM comparison: %s", pl.Residual)
@@ -85,8 +94,8 @@ func TestBuildPlanSplitsConjuncts(t *testing.T) {
 func TestBuildPlanNaiveKeepsWhereWhole(t *testing.T) {
 	q := mustParse(t, `SELECT a FROM t WHERE a = 'x' AND LLM('p', b) = 'Yes'`)
 	pl := mustPlan(t, q, false)
-	if pl.Pushed != nil {
-		t.Errorf("naive plan pushed a predicate: %s", pl.Pushed)
+	if pl.Pushed != nil || pl.TablePushed[0] != nil {
+		t.Errorf("naive plan pushed a predicate: %+v", pl)
 	}
 	if !reflect.DeepEqual(pl.Residual, q.Where) {
 		t.Errorf("naive residual = %s, want the full WHERE", pl.Residual)
@@ -97,8 +106,8 @@ func TestBuildPlanOrBlocksPushdown(t *testing.T) {
 	// A plain comparison OR-joined with an LLM comparison cannot run early.
 	q := mustParse(t, `SELECT a FROM t WHERE a = 'x' OR LLM('p', b) = 'Yes'`)
 	pl := mustPlan(t, q, true)
-	if pl.Pushed != nil {
-		t.Errorf("unsound pushdown through OR: %s", pl.Pushed)
+	if pl.Pushed != nil || pl.TablePushed[0] != nil {
+		t.Errorf("unsound pushdown through OR: %+v", pl)
 	}
 	if pl.Residual == nil {
 		t.Error("residual missing")
@@ -289,10 +298,10 @@ func TestExecAggregatedCallSharedWithWhere(t *testing.T) {
 
 func TestBuildPlanRejectsNonNumericEqualityOnAggregatedCall(t *testing.T) {
 	q := mustParse(t, `SELECT AVG(LLM('Rate', a)) FROM t WHERE LLM('Rate', a) = 'Yes'`)
-	if _, err := BuildPlan(q, true); err == nil {
+	if _, err := BuildPlan(q, nil, true); err == nil {
 		t.Error("unsatisfiable aggregated equality accepted")
 	}
-	if _, err := BuildPlan(q, false); err == nil {
+	if _, err := BuildPlan(q, nil, false); err == nil {
 		t.Error("naive plan accepted the unsatisfiable statement")
 	}
 	// Negated form is trivially true and must stay legal, as must numeric
@@ -302,7 +311,7 @@ func TestBuildPlanRejectsNonNumericEqualityOnAggregatedCall(t *testing.T) {
 		`SELECT AVG(LLM('Rate', a)) FROM t WHERE LLM('Rate', a) = '5'`,
 		`SELECT AVG(LLM('Rate', a)) FROM t WHERE LLM('Rate', a) = 5`,
 	} {
-		if _, err := BuildPlan(mustParse(t, src), true); err != nil {
+		if _, err := BuildPlan(mustParse(t, src), nil, true); err != nil {
 			t.Errorf("BuildPlan(%q): %v", src, err)
 		}
 	}
@@ -310,14 +319,17 @@ func TestBuildPlanRejectsNonNumericEqualityOnAggregatedCall(t *testing.T) {
 
 func TestLLMCallKeyInjective(t *testing.T) {
 	cases := []LLMCall{
-		{Prompt: "p", Fields: []string{"a", "b"}},
-		{Prompt: "p", Fields: []string{"a"}},
-		{Prompt: "p", Fields: []string{"ab"}},
-		{Prompt: "p", Fields: []string{"*"}},      // column literally named *
-		{Prompt: "p", AllFields: true},            // LLM('p', *)
-		{Prompt: "p\x00a", Fields: []string{"b"}}, // NUL in prompt
-		{Prompt: "p", Fields: []string{"a\x00b"}}, // NUL in field
-		{Prompt: "p;1:a", Fields: []string{"b"}},  // delimiter chars in prompt
+		{Prompt: "p", Fields: cols("a", "b")},
+		{Prompt: "p", Fields: cols("a")},
+		{Prompt: "p", Fields: cols("ab")},
+		{Prompt: "p", Fields: cols("*")},                               // column literally named *
+		{Prompt: "p", AllFields: true},                                 // LLM('p', *)
+		{Prompt: "p", StarOf: []string{"a"}},                           // LLM('p', a.*)
+		{Prompt: "p\x00a", Fields: cols("b")},                          // NUL in prompt
+		{Prompt: "p", Fields: cols("a\x00b")},                          // NUL in field
+		{Prompt: "p;1:a", Fields: cols("b")},                           // delimiter chars in prompt
+		{Prompt: "p", Fields: []ColRef{{Qualifier: "a", Column: "b"}}}, // qualified field
+		{Prompt: "p", Fields: cols("a.b")},                             // dot folded into the name
 	}
 	seen := map[string]LLMCall{}
 	for _, c := range cases {

@@ -9,6 +9,7 @@ import (
 
 var (
 	propIdents  = []string{"alpha", "beta_col", "review/overall", "c3", "text", "and", "weird col"}
+	propTables  = []string{"some_table", "other", "facts", "join"}
 	propPrompts = []string{"Summarize", "Is it good?", "Rate 1-5", "it's 'quoted'"}
 	propNumbers = []string{"0", "7", "42", "4.5"}
 	propAliases = []string{"a1", "score", "out"}
@@ -17,26 +18,70 @@ var (
 
 func randIdent(r *rand.Rand) string { return propIdents[r.Intn(len(propIdents))] }
 
-func randCall(r *rand.Rand) LLMCall {
-	c := LLMCall{Prompt: propPrompts[r.Intn(len(propPrompts))]}
-	if r.Intn(5) == 0 {
-		c.AllFields = true
-		return c
-	}
-	n := 1 + r.Intn(3)
-	for i := 0; i < n; i++ {
-		c.Fields = append(c.Fields, randIdent(r))
+// randColRef generates a column reference, qualified with one of the FROM
+// clause's effective table names one time in three.
+func randColRef(r *rand.Rand, quals []string) ColRef {
+	c := ColRef{Column: randIdent(r)}
+	if len(quals) > 0 && r.Intn(3) == 0 {
+		c.Qualifier = quals[r.Intn(len(quals))]
 	}
 	return c
 }
 
-func randCompare(r *rand.Rand) *Compare {
+// randFrom generates a FROM clause of 1–3 tables with optional aliases and
+// qualified equi-join conditions, returning it plus the effective names
+// column references may use as qualifiers.
+func randFrom(r *rand.Rand) ([]TableRef, []string) {
+	n := 1 + r.Intn(3)
+	var from []TableRef
+	var quals []string
+	for i := 0; i < n; i++ {
+		ref := TableRef{Table: propTables[i]}
+		if r.Intn(2) == 0 {
+			ref.Alias = propAliases[r.Intn(len(propAliases))] + "_t"
+		}
+		if i > 0 {
+			on := &JoinOn{
+				Left:  ColRef{Qualifier: quals[r.Intn(len(quals))], Column: randIdent(r)},
+				Right: ColRef{Qualifier: ref.Name(), Column: randIdent(r)},
+			}
+			if r.Intn(2) == 0 {
+				on.Left, on.Right = on.Right, on.Left
+			}
+			ref.On = on
+		}
+		from = append(from, ref)
+		quals = append(quals, ref.Name())
+	}
+	return from, quals
+}
+
+func randCall(r *rand.Rand, quals []string) LLMCall {
+	c := LLMCall{Prompt: propPrompts[r.Intn(len(propPrompts))]}
+	switch r.Intn(6) {
+	case 0:
+		c.AllFields = true
+		return c
+	case 1:
+		if len(quals) > 0 {
+			c.StarOf = []string{quals[r.Intn(len(quals))]}
+			return c
+		}
+	}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		c.Fields = append(c.Fields, randColRef(r, quals))
+	}
+	return c
+}
+
+func randCompare(r *rand.Rand, quals []string) *Compare {
 	c := &Compare{Negated: r.Intn(2) == 0}
 	if r.Intn(2) == 0 {
-		call := randCall(r)
+		call := randCall(r, quals)
 		c.LLM = &call
 	} else {
-		c.Column = randIdent(r)
+		c.Col = randColRef(r, quals)
 	}
 	if r.Intn(3) == 0 {
 		c.IsNumber = true
@@ -48,31 +93,31 @@ func randCompare(r *rand.Rand) *Compare {
 }
 
 // randExpr generates a boolean WHERE tree of bounded depth.
-func randExpr(r *rand.Rand, depth int) Expr {
+func randExpr(r *rand.Rand, depth int, quals []string) Expr {
 	if depth <= 0 || r.Intn(3) == 0 {
-		return randCompare(r)
+		return randCompare(r, quals)
 	}
 	switch r.Intn(4) {
 	case 0:
-		return &NotExpr{Inner: randExpr(r, depth-1)}
+		return &NotExpr{Inner: randExpr(r, depth-1, quals)}
 	case 1:
-		return &BinaryExpr{Op: "OR", Left: randExpr(r, depth-1), Right: randExpr(r, depth-1)}
+		return &BinaryExpr{Op: "OR", Left: randExpr(r, depth-1, quals), Right: randExpr(r, depth-1, quals)}
 	default:
-		return &BinaryExpr{Op: "AND", Left: randExpr(r, depth-1), Right: randExpr(r, depth-1)}
+		return &BinaryExpr{Op: "AND", Left: randExpr(r, depth-1, quals), Right: randExpr(r, depth-1, quals)}
 	}
 }
 
-func randAggItem(r *rand.Rand) SelectItem {
+func randAggItem(r *rand.Rand, quals []string) SelectItem {
 	fn := propAggs[r.Intn(len(propAggs))]
 	item := SelectItem{Agg: fn}
 	switch {
 	case fn == AggCount && r.Intn(2) == 0:
 		item.AggStar = true
 	case r.Intn(2) == 0:
-		call := randCall(r)
+		call := randCall(r, quals)
 		item.LLM = &call
 	default:
-		item.Column = randIdent(r)
+		item.Col = randColRef(r, quals)
 	}
 	if r.Intn(2) == 0 {
 		item.Alias = propAliases[r.Intn(len(propAliases))]
@@ -81,22 +126,25 @@ func randAggItem(r *rand.Rand) SelectItem {
 }
 
 // randomQuery generates a structurally valid AST covering the full dialect:
-// boolean WHERE trees, the five aggregates, GROUP BY, ORDER BY, and LIMIT.
+// multi-table FROM clauses with aliases and equi-joins, qualified column
+// references, boolean WHERE trees, the five aggregates, GROUP BY, ORDER BY,
+// and LIMIT.
 func randomQuery(r *rand.Rand) *Query {
-	q := &Query{From: "some_table", Limit: -1}
+	from, quals := randFrom(r)
+	q := &Query{From: from, Limit: -1}
 	if r.Intn(3) == 0 {
 		// Aggregated select list, optionally grouped.
 		if r.Intn(2) == 0 {
 			n := 1 + r.Intn(2)
 			for i := 0; i < n; i++ {
-				col := randIdent(r)
+				col := randColRef(r, quals)
 				q.GroupBy = append(q.GroupBy, col)
-				q.Select = append(q.Select, SelectItem{Column: col})
+				q.Select = append(q.Select, SelectItem{Col: col})
 			}
 		}
 		n := 1 + r.Intn(2)
 		for i := 0; i < n; i++ {
-			q.Select = append(q.Select, randAggItem(r))
+			q.Select = append(q.Select, randAggItem(r, quals))
 		}
 	} else {
 		n := 1 + r.Intn(3)
@@ -105,13 +153,13 @@ func randomQuery(r *rand.Rand) *Query {
 			case 0:
 				q.Select = append(q.Select, SelectItem{Star: true})
 			case 1:
-				item := SelectItem{Column: randIdent(r)}
+				item := SelectItem{Col: randColRef(r, quals)}
 				if r.Intn(3) == 0 {
 					item.Alias = propAliases[r.Intn(len(propAliases))]
 				}
 				q.Select = append(q.Select, item)
 			default:
-				call := randCall(r)
+				call := randCall(r, quals)
 				item := SelectItem{LLM: &call}
 				if r.Intn(3) == 0 {
 					item.Alias = propAliases[r.Intn(len(propAliases))]
@@ -121,10 +169,10 @@ func randomQuery(r *rand.Rand) *Query {
 		}
 	}
 	if r.Intn(2) == 0 {
-		q.Where = randExpr(r, 3)
+		q.Where = randExpr(r, 3, quals)
 	}
 	if r.Intn(3) == 0 {
-		q.OrderBy = &OrderItem{Column: randIdent(r), Desc: r.Intn(2) == 0}
+		q.OrderBy = &OrderItem{Col: randColRef(r, quals), Desc: r.Intn(2) == 0}
 	}
 	if r.Intn(3) == 0 {
 		q.Limit = r.Intn(10)
@@ -178,8 +226,8 @@ func TestPlanInvariantQuick(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		q := randomQuery(r)
-		planned, errP := BuildPlan(q, true)
-		naive, errN := BuildPlan(q, false)
+		planned, errP := BuildPlan(q, nil, true)
+		naive, errN := BuildPlan(q, nil, false)
 		if (errP == nil) != (errN == nil) {
 			t.Logf("query %s: planned err %v, naive err %v", q.String(), errP, errN)
 			return false
@@ -223,6 +271,7 @@ func TestParserNeverPanics(t *testing.T) {
 		_, _ = Parse(s)
 		_, _ = Parse("SELECT " + s + " FROM t")
 		_, _ = Parse("SELECT a FROM t WHERE " + s)
+		_, _ = Parse("SELECT a FROM t JOIN u ON " + s)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

@@ -146,14 +146,14 @@ func mustParse(t *testing.T, src string) *Query {
 
 func TestParseProjectionQuery(t *testing.T) {
 	q := mustParse(t, "SELECT LLM('Summarize: ', reviewcontent, movieinfo) FROM movies")
-	if q.From != "movies" || len(q.Select) != 1 {
+	if len(q.From) != 1 || q.From[0].Table != "movies" || len(q.Select) != 1 {
 		t.Fatalf("query = %+v", q)
 	}
 	call := q.Select[0].LLM
 	if call == nil || call.Prompt != "Summarize: " {
 		t.Fatalf("call = %+v", call)
 	}
-	if len(call.Fields) != 2 || call.Fields[0] != "reviewcontent" {
+	if len(call.Fields) != 2 || call.Fields[0].Column != "reviewcontent" {
 		t.Errorf("fields = %v", call.Fields)
 	}
 }
@@ -189,10 +189,10 @@ func TestParseAggregateForms(t *testing.T) {
 	if q.Select[0].Agg != AggCount || !q.Select[0].AggStar || q.Select[0].Alias != "n" {
 		t.Fatalf("COUNT(*) item = %+v", q.Select[0])
 	}
-	if q.Select[1].Agg != AggSum || q.Select[1].Column != "price" {
+	if q.Select[1].Agg != AggSum || q.Select[1].Col.Column != "price" {
 		t.Fatalf("SUM item = %+v", q.Select[1])
 	}
-	if q.Select[2].Agg != AggMin || q.Select[2].Column != "name" {
+	if q.Select[2].Agg != AggMin || q.Select[2].Col.Column != "name" {
 		t.Fatalf("MIN item = %+v", q.Select[2])
 	}
 	if q.Select[3].Agg != AggMax || q.Select[3].LLM == nil {
@@ -229,17 +229,17 @@ func TestParseParenthesizedWhere(t *testing.T) {
 func TestParseNumericComparison(t *testing.T) {
 	q := mustParse(t, `SELECT a FROM t WHERE score = 4.5`)
 	cmp := q.Where.(*Compare)
-	if !cmp.IsNumber || cmp.Literal != "4.5" || cmp.Column != "score" {
+	if !cmp.IsNumber || cmp.Literal != "4.5" || cmp.Col.Column != "score" {
 		t.Fatalf("cmp = %+v", cmp)
 	}
 }
 
 func TestParseGroupOrderLimit(t *testing.T) {
 	q := mustParse(t, `SELECT category, COUNT(*) AS n FROM t GROUP BY category ORDER BY n DESC LIMIT 3`)
-	if len(q.GroupBy) != 1 || q.GroupBy[0] != "category" {
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Column != "category" {
 		t.Fatalf("group by = %v", q.GroupBy)
 	}
-	if q.OrderBy == nil || q.OrderBy.Column != "n" || !q.OrderBy.Desc {
+	if q.OrderBy == nil || q.OrderBy.Col.Column != "n" || !q.OrderBy.Desc {
 		t.Fatalf("order by = %+v", q.OrderBy)
 	}
 	if q.Limit != 3 {
@@ -257,17 +257,17 @@ func TestParseLimitAbsentIsMinusOne(t *testing.T) {
 func TestParseKeywordCollidingColumnViaQuotes(t *testing.T) {
 	// A column named "and" is reachable through a quoted identifier.
 	q := mustParse(t, `SELECT "and" FROM t WHERE "count" = 'x'`)
-	if q.Select[0].Column != "and" {
+	if q.Select[0].Col.Column != "and" {
 		t.Fatalf("select = %+v", q.Select[0])
 	}
-	if q.Where.(*Compare).Column != "count" {
+	if q.Where.(*Compare).Col.Column != "count" {
 		t.Fatalf("where = %+v", q.Where)
 	}
 }
 
 func TestParseStarForms(t *testing.T) {
 	q := mustParse(t, `SELECT LLM('Summarize: ', pr.*) FROM pr`)
-	if !q.Select[0].LLM.AllFields {
+	if len(q.Select[0].LLM.StarOf) != 1 || q.Select[0].LLM.StarOf[0] != "pr" {
 		t.Error("pr.* not recognized")
 	}
 	q = mustParse(t, `SELECT LLM('Summarize: ', *) FROM pr`)
@@ -287,6 +287,54 @@ func TestParseMixedSelectList(t *testing.T) {
 	}
 	if q.Select[2].Alias != "success" {
 		t.Errorf("alias = %q", q.Select[2].Alias)
+	}
+}
+
+func TestParseJoinClause(t *testing.T) {
+	q := mustParse(t, `SELECT t.ticket_id, c.region FROM tickets AS t JOIN customers AS c ON t.customer_id = c.customer_id`)
+	if len(q.From) != 2 {
+		t.Fatalf("from = %+v", q.From)
+	}
+	if q.From[0].Table != "tickets" || q.From[0].Alias != "t" || q.From[0].On != nil {
+		t.Fatalf("anchor = %+v", q.From[0])
+	}
+	j := q.From[1]
+	if j.Table != "customers" || j.Alias != "c" || j.On == nil {
+		t.Fatalf("joined = %+v", j)
+	}
+	want := JoinOn{Left: ColRef{Qualifier: "t", Column: "customer_id"}, Right: ColRef{Qualifier: "c", Column: "customer_id"}}
+	if *j.On != want {
+		t.Errorf("on = %+v", *j.On)
+	}
+	if q.Select[0].Col != (ColRef{Qualifier: "t", Column: "ticket_id"}) {
+		t.Errorf("qualified select = %+v", q.Select[0])
+	}
+}
+
+func TestParseMultiJoinWithoutAliases(t *testing.T) {
+	q := mustParse(t, `SELECT a FROM t1 JOIN t2 ON t1.k = t2.k JOIN t3 ON t2.j = t3.j`)
+	if len(q.From) != 3 || q.From[2].Table != "t3" || q.From[2].On == nil {
+		t.Fatalf("from = %+v", q.From)
+	}
+	if q.From[1].Name() != "t2" {
+		t.Errorf("effective name = %q", q.From[1].Name())
+	}
+}
+
+func TestParseQualifiedEverywhere(t *testing.T) {
+	q := mustParse(t, `SELECT a.x, AVG(b.y) FROM ta AS a JOIN tb AS b ON a.k = b.k WHERE LLM('p', a.text, b.note) = 'Yes' AND b.z = 'v' GROUP BY a.x ORDER BY a.x`)
+	if q.Select[1].Col != (ColRef{Qualifier: "b", Column: "y"}) {
+		t.Errorf("agg arg = %+v", q.Select[1])
+	}
+	if q.GroupBy[0] != (ColRef{Qualifier: "a", Column: "x"}) {
+		t.Errorf("group by = %+v", q.GroupBy)
+	}
+	if q.OrderBy.Col != (ColRef{Qualifier: "a", Column: "x"}) {
+		t.Errorf("order by = %+v", q.OrderBy)
+	}
+	cmp := q.Where.(*BinaryExpr).Left.(*Compare)
+	if cmp.LLM.Fields[1] != (ColRef{Qualifier: "b", Column: "note"}) {
+		t.Errorf("llm fields = %+v", cmp.LLM.Fields)
 	}
 }
 
@@ -312,6 +360,13 @@ func TestParseErrors(t *testing.T) {
 		"SELECT a FROM t ORDER BY",                   // missing key
 		"SELECT a FROM t LIMIT 4.5",                  // fractional limit
 		"SELECT a FROM t LIMIT x",                    // non-numeric limit
+		"SELECT a FROM t JOIN",                       // dangling JOIN
+		"SELECT a FROM t JOIN u",                     // missing ON
+		"SELECT a FROM t JOIN u ON",                  // missing condition
+		"SELECT a FROM t JOIN u ON t.a = ",           // missing right side
+		"SELECT a FROM t JOIN u ON t.a <> u.a",       // only equality joins
+		"SELECT a FROM t JOIN u ON t.a = 'x'",        // literal join comparand
+		"SELECT t. FROM t",                           // dangling qualifier
 	}
 	for _, src := range bad {
 		if _, err := Parse(src); err == nil {

@@ -223,10 +223,18 @@ type (
 	SQLResult = sqlfront.Result
 )
 
-// NewSQLDB returns an empty LLM-SQL database.
+// NewSQLDB returns an empty LLM-SQL database. Register every table a
+// statement's FROM clause names, then Exec: statements may join any number
+// of registered tables with inner equi-joins
+// (FROM t1 AS a JOIN t2 AS b ON a.k = b.k), qualifying columns as
+// alias.column anywhere a column is legal.
 func NewSQLDB() *SQLDB { return sqlfront.NewDB() }
 
-// ExecSQL runs one LLM-SQL statement against a single registered table.
+// ExecSQL is the single-table convenience: it runs one LLM-SQL statement
+// against exactly one table, registered under tableName for the call's
+// duration. Statements whose FROM clause joins several tables are rejected
+// with an error pointing at SQLDB — build one with NewSQLDB, Register each
+// table, and call its Exec instead.
 //
 // The dialect (see the sqlfront package comment for the full EBNF) is the
 // paper's interface grown into a small analytics language:
@@ -242,13 +250,21 @@ func NewSQLDB() *SQLDB { return sqlfront.NewDB() }
 // aggregates COUNT/SUM/MIN/MAX/AVG (COUNT(*) included); WHERE clauses are
 // AND/OR/NOT trees over LLM and plain-column comparisons against string or
 // numeric literals. Every statement passes through a logical planner that
-// evaluates LLM-free predicates before any model call and runs each distinct
-// LLM call exactly once per statement; set SQLConfig.Naive to true to bypass
-// both optimizations and measure their benefit.
+// pushes LLM-free predicates below any model call (and, on a SQLDB, below
+// the join), runs each distinct LLM call exactly once per statement, and
+// cascades multiple LLM filters cheapest-first; set SQLConfig.Naive to true
+// to bypass the optimizations and measure their benefit.
 func ExecSQL(sql string, tableName string, t *Table, cfg SQLConfig) (*SQLResult, error) {
+	q, err := sqlfront.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(q.From); n > 1 {
+		return nil, fmt.Errorf("llmq: ExecSQL executes against a single table, but the statement joins %d; register each table on a SQLDB (NewSQLDB) and use its Exec", n)
+	}
 	db := NewSQLDB()
 	db.Register(tableName, t)
-	return db.Exec(sql, cfg)
+	return db.ExecParsed(q, cfg)
 }
 
 // --- experiment harness --------------------------------------------------------

@@ -2,6 +2,7 @@ package llmq
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -149,11 +150,13 @@ func TestExecSQLFullDialect(t *testing.T) {
 		if i >= 18 {
 			region = "apac"
 		}
+		// Responses vary per row: the simulated model answers by content, so
+		// identical inputs get identical answers (as a real model would).
 		tb.MustAppendRow(
 			fmt.Sprintf("T-%d", 100+i),
 			region,
 			fmt.Sprintf("Request %d about an account issue", i),
-			"We reset your password and emailed a confirmation link.",
+			fmt.Sprintf("We reset password %d and emailed a confirmation link.", i),
 		)
 	}
 
@@ -192,6 +195,37 @@ func TestExecSQLFullDialect(t *testing.T) {
 	}
 	if res.LLMCalls >= naive.LLMCalls {
 		t.Errorf("planner did not save calls: planned %d, naive %d", res.LLMCalls, naive.LLMCalls)
+	}
+}
+
+// TestExecSQLRejectsJoins: the single-table convenience routes multi-table
+// statements to SQLDB with a targeted error instead of a parse failure.
+func TestExecSQLRejectsJoins(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.MustAppendRow("1", "x")
+	_, err := ExecSQL(`SELECT a.v FROM t AS a JOIN t AS b ON a.k = b.k`, "t", tb, SQLConfig{})
+	if err == nil {
+		t.Fatal("multi-table statement accepted by ExecSQL")
+	}
+	if want := "SQLDB"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not point at %s", err, want)
+	}
+
+	// The same statement runs on a SQLDB.
+	db := NewSQLDB()
+	db.Register("t", tb)
+	res, err := db.Exec(`SELECT a.v FROM t AS a JOIN t AS b ON a.k = b.k`, SQLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "x" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+
+	// An unregistered table fails with a clear registry error.
+	_, err = db.Exec(`SELECT v FROM elsewhere`, SQLConfig{})
+	if err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Errorf("unregistered-table error = %v", err)
 	}
 }
 
