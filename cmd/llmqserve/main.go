@@ -1,40 +1,129 @@
-// Command llmqserve runs the reordering optimizer as an HTTP service.
+// Command llmqserve runs the reordering optimizer — and, when tables are
+// registered, a concurrent LLM-SQL serving runtime — as an HTTP service.
 //
 //	llmqserve -addr :8080
+//	llmqserve -addr :8080 -csv tickets=tickets.csv -dataset Movies -workers 8
 //
 // Endpoints (JSON over POST):
 //
 //	/v1/reorder   {table:{columns,rows,fds}, algorithm?} -> schedule + PHC
 //	/v1/estimate  {provider, hitOriginal, hitGGR}        -> cost savings
 //	/v1/simulate  {table, prompt, policy?}               -> serving metrics
+//	/v1/sql       {sql, naive?, policy?}                 -> result relation +
+//	              per-statement serving stats + fleet-wide runtime metrics
 //	/healthz      (GET)
+//
+// /v1/sql executes LLM-SQL statements over the tables registered with -csv
+// (name=path, repeatable) and -dataset (bundled dataset name, repeatable) on
+// the concurrent serving runtime: statements run on a bounded worker pool,
+// pending LLM calls that share a prompt coalesce across requests into
+// GGR-reordered batches (-batch-window), and an exact-match result cache
+// plus inflight dedup keep repeated dashboard statements from paying for
+// model calls twice. Without registrations the endpoint answers 503 and the
+// three stateless endpoints work as before.
 //
 // Example:
 //
-//	curl -s localhost:8080/v1/estimate -d \
-//	  '{"provider":"openai","hitOriginal":0.11,"hitGGR":0.67}'
+//	curl -s localhost:8080/v1/sql -d \
+//	  '{"sql":"SELECT region, COUNT(*) AS n FROM tickets GROUP BY region HAVING COUNT(*) > 3 ORDER BY n DESC, region"}'
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"strings"
 	"time"
 
+	"repro/internal/datagen"
+	"repro/internal/runtime"
 	"repro/internal/server"
+	"repro/internal/sqlfront"
+	"repro/internal/table"
 )
 
+// repeatable collects every occurrence of a repeated string flag.
+type repeatable []string
+
+func (r *repeatable) String() string { return strings.Join(*r, ",") }
+
+func (r *repeatable) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	var csvs, datasets repeatable
+	flag.Var(&csvs, "csv", "CSV to register for /v1/sql, as name=path (repeatable)")
+	flag.Var(&datasets, "dataset", "bundled dataset to register under its own name (repeatable)")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		scale   = flag.Float64("scale", 0.05, "dataset scale when -dataset is used")
+		seed    = flag.Int64("seed", 1, "dataset seed")
+		workers = flag.Int("workers", 4, "concurrent statement executors")
+		window  = flag.Duration("batch-window", 2*time.Millisecond, "cross-query batch coalescing window")
+		cache   = flag.Int("cache", 65536, "result cache capacity in entries (negative disables)")
+	)
 	flag.Parse()
+
+	var rt *runtime.Runtime
+	if len(csvs) > 0 || len(datasets) > 0 {
+		db := sqlfront.NewDB()
+		for _, name := range datasets {
+			d, err := datagen.RelationalByName(name, datagen.Options{Scale: *scale, Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			db.Register(name, d.Table)
+		}
+		for _, spec := range csvs {
+			i := strings.IndexByte(spec, '=')
+			if i <= 0 || i == len(spec)-1 {
+				fatal(fmt.Errorf("malformed -csv %q: want name=path", spec))
+			}
+			name, path := spec[:i], spec[i+1:]
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			t, err := table.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			db.Register(name, t)
+		}
+		rt = runtime.New(db, runtime.Config{
+			Workers:       *workers,
+			BatchWindow:   *window,
+			CacheCapacity: *cache,
+		})
+		log.Printf("llmqserve: /v1/sql serving tables %s (%d workers, %s batch window)",
+			strings.Join(db.Tables(), ", "), *workers, *window)
+	} else {
+		log.Printf("llmqserve: no tables registered; /v1/sql disabled (use -csv/-dataset)")
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           server.NewWithRuntime(rt),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
 	}
 	log.Printf("llmqserve listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	err := srv.ListenAndServe()
+	if rt != nil {
+		// Drain in-flight statements before exiting (log.Fatal would skip
+		// deferred calls).
+		rt.Close()
+	}
+	log.Fatal(err)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "llmqserve: %v\n", err)
+	os.Exit(1)
 }

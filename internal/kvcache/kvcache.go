@@ -81,7 +81,9 @@ type node struct {
 }
 
 // Cache is a single device pool. It is not safe for concurrent use; the
-// serving engine is single-threaded over a virtual clock.
+// serving engine is single-threaded over a virtual clock. Concurrent
+// executors (internal/runtime) respect this by confinement: every engine
+// run builds its own Cache and no Cache ever crosses a goroutine boundary.
 type Cache struct {
 	cfg   Config
 	root  *node

@@ -92,6 +92,10 @@ type StageResult struct {
 	Outputs []string
 	// Rows is the stage's input size.
 	Rows int
+	// ModelCalls is the number of rows actually sent to the serving engine.
+	// RunStage sets it equal to Rows; the serving runtime reports fewer when
+	// its result cache or inflight dedup served rows without a model call.
+	ModelCalls int
 }
 
 // Result reports a complete benchmark query (one or two stages).
@@ -165,6 +169,7 @@ func RunStage(spec Spec, tbl *table.Table, cfg Config) (*StageResult, error) {
 		PHC:           phc,
 		Outputs:       outputs,
 		Rows:          tbl.NumRows(),
+		ModelCalls:    len(reqs),
 	}, nil
 }
 

@@ -50,6 +50,11 @@ type Spec struct {
 	// make a row's answer independent of how a plan slices, joins, or
 	// reorders the stage's input table — as a real model's answer would be.
 	RowKeys func(row int) uint64
+	// RowOutTokens, when non-nil, overrides OutTokensFor per source row.
+	// The serving runtime's cross-query batcher sets it when it coalesces
+	// rows from several statements into one stage, so every row keeps the
+	// exact output budget its own statement would have given it.
+	RowOutTokens func(row int) int
 }
 
 // specs is the benchmark registry: 16 queries across 5 types, matching
@@ -196,8 +201,11 @@ func ForDataset(dataset string, t Type) (Spec, error) {
 }
 
 // OutTokensFor returns the deterministic output budget for a source row:
-// the spec mean ±25% by hash.
+// the spec mean ±25% by hash, unless RowOutTokens overrides it.
 func (s Spec) OutTokensFor(source int) int {
+	if s.RowOutTokens != nil {
+		return s.RowOutTokens(source)
+	}
 	if s.OutTokens <= 1 {
 		return 1
 	}

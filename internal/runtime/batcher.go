@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// batcher coalesces pending LLM calls from concurrent statements into shared
+// engine runs. Submissions are grouped by stage fingerprint (same prompt,
+// schema, answer alphabet, and serving config — see stageFingerprint); a
+// group stays open for the configured batch window, or until it reaches
+// MaxBatchRows, then flushes as one GGR-reordered stage over the union of
+// its members' rows. Rows from different statements that share the prompt
+// prefix are therefore scheduled next to each other, so the prefix cache
+// hits across queries, not just within one.
+type batcher struct {
+	rt     *Runtime
+	mu     sync.Mutex
+	groups map[string]*group
+}
+
+// member is one statement's contribution to a group: the rows of its stage
+// table it needs computed. The flush closes done and fills outputs (aligned
+// with rows) or err.
+type member struct {
+	spec query.Spec
+	tbl  *table.Table
+	rows []int
+	done chan struct{}
+
+	offset  int
+	outputs []string
+	batch   *query.StageResult
+	err     error
+}
+
+// group accumulates members with one fingerprint until flush.
+type group struct {
+	fp      string
+	cols    []string
+	qcfg    query.Config
+	members []*member
+	rows    int
+	flushed bool
+}
+
+func newBatcher(rt *Runtime) *batcher {
+	return &batcher{rt: rt, groups: make(map[string]*group)}
+}
+
+// submit enqueues rows of tbl under fp and returns the member handle; the
+// caller blocks on member.done. Never called with an empty row set.
+func (b *batcher) submit(fp string, spec query.Spec, tbl *table.Table, rows []int, qcfg query.Config) *member {
+	m := &member{spec: spec, tbl: tbl, rows: rows, done: make(chan struct{})}
+	window := b.rt.cfg.batchWindow()
+	b.mu.Lock()
+	g := b.groups[fp]
+	if g == nil {
+		g = &group{fp: fp, cols: tbl.Columns(), qcfg: qcfg}
+		b.groups[fp] = g
+		if window > 0 {
+			time.AfterFunc(window, func() { b.flush(g) })
+		}
+	}
+	g.members = append(g.members, m)
+	g.rows += len(rows)
+	full := b.rt.cfg.maxBatchRows() > 0 && g.rows >= b.rt.cfg.maxBatchRows()
+	b.mu.Unlock()
+	if full || window <= 0 {
+		b.flush(g)
+	}
+	return m
+}
+
+// flush detaches the group (idempotently) and runs it. Called from the
+// window timer, from submit when the group fills or the window is disabled,
+// and from Close for stragglers.
+func (b *batcher) flush(g *group) {
+	b.mu.Lock()
+	if g.flushed {
+		b.mu.Unlock()
+		return
+	}
+	g.flushed = true
+	if b.groups[g.fp] == g {
+		delete(b.groups, g.fp)
+	}
+	members := g.members
+	b.mu.Unlock()
+	b.run(g, members)
+}
+
+// flushAll drains every open group synchronously (shutdown path).
+func (b *batcher) flushAll() {
+	b.mu.Lock()
+	var gs []*group
+	for _, g := range b.groups {
+		gs = append(gs, g)
+	}
+	b.mu.Unlock()
+	for _, g := range gs {
+		b.flush(g)
+	}
+}
+
+// run executes one coalesced stage: the union of the members' rows as a
+// single table, reordered by the configured policy and served by one engine
+// instance (the engine and its kvcache.Cache are confined to this call — the
+// cache type is not concurrency-safe, so no engine is ever shared). Each
+// member's spec hooks (RowKeys, OutTokensFor) are dispatched per row, so a
+// row's oracle draw and output budget are exactly what its own statement
+// would have used.
+func (b *batcher) run(g *group, members []*member) {
+	tmpl := members[0].spec
+	combined := table.New(g.cols...)
+	var truths []string
+	total := 0
+	for _, m := range members {
+		m.offset = total
+		total += len(m.rows)
+		for _, r := range m.rows {
+			combined.MustAppendRow(m.tbl.Row(r)...)
+			if tmpl.TruthHidden != "" {
+				truths = append(truths, m.tbl.HiddenValue(tmpl.TruthHidden, r))
+			}
+		}
+	}
+	if tmpl.TruthHidden != "" {
+		if err := combined.SetHidden(tmpl.TruthHidden, truths); err != nil {
+			panic(err) // unreachable: truths matches the row count by construction
+		}
+	}
+	// FDs steer GGR's column scoring; every member projects the same
+	// statement shape, so the first member's (schema-identical) FDs apply.
+	if err := combined.SetFDs(members[0].tbl.FDs()); err != nil {
+		panic(err) // unreachable: identical schema by fingerprint
+	}
+
+	rowKeys := make([]uint64, total)
+	outTok := make([]int, total)
+	for _, m := range members {
+		for j, r := range m.rows {
+			rowKeys[m.offset+j] = m.spec.RowKeys(r)
+			outTok[m.offset+j] = m.spec.OutTokensFor(r)
+		}
+	}
+	spec := tmpl
+	spec.RowKeys = func(row int) uint64 { return rowKeys[row] }
+	spec.RowOutTokens = func(row int) int { return outTok[row] }
+
+	st, err := query.RunStage(spec, combined, g.qcfg)
+	if err != nil {
+		for _, m := range members {
+			m.err = err
+			close(m.done)
+		}
+		return
+	}
+
+	c := &b.rt.c
+	c.batches.Add(1)
+	c.llmCalls.Add(int64(total))
+	c.jctMicros.Add(int64(st.Metrics.JCT * 1e6))
+	c.solverMicros.Add(int64(st.SolverSeconds * 1e6))
+	c.promptTokens.Add(st.Metrics.PromptTokens)
+	c.matchedTokens.Add(st.Metrics.MatchedTokens)
+	c.prefilledTokens.Add(st.Metrics.PrefilledTokens)
+	if len(members) > 1 {
+		c.coalescedRuns.Add(1)
+		c.coalescedRows.Add(int64(total))
+	}
+	for _, m := range members {
+		m.batch = st
+		m.outputs = st.Outputs[m.offset : m.offset+len(m.rows)]
+		close(m.done)
+	}
+}

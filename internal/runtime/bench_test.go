@@ -1,0 +1,108 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+// multiClientWorkload is the dashboard scenario the runtime is built for:
+// K clients refresh overlapping statements — repeats hit the result cache,
+// and distinct statements sharing an LLM call coalesce into cross-query
+// batches. Returns the statement of each client in submission order.
+func multiClientWorkload() []string {
+	base := []string{
+		dashboardStatements[0], // emea resolved dashboard
+		dashboardStatements[1], // amer resolved dashboard (same LLM call)
+		dashboardStatements[3], // anger scoreboard
+	}
+	var stmts []string
+	for turn := 0; turn < 2; turn++ { // each dashboard refreshes twice
+		stmts = append(stmts, base...)
+	}
+	return stmts
+}
+
+// TestConcurrentBeatsSequential is the acceptance bar of this subsystem: the
+// runtime serving K concurrent statements must make strictly fewer total
+// model calls and spend strictly less total serving time (virtual JCT, each
+// engine run counted once) than the same K statements run back to back
+// through SQLDB.Exec — while returning identical result relations.
+func TestConcurrentBeatsSequential(t *testing.T) {
+	stmts := multiClientWorkload()
+	db := newDB(45)
+	want, seqCalls, seqJCT := seqBaseline(t, db, stmts)
+
+	rt := New(db, Config{Workers: len(stmts), BatchWindow: 60 * time.Millisecond})
+	defer rt.Close()
+	start := time.Now()
+	handles := make([]*Handle, len(stmts))
+	for i, sql := range stmts {
+		handles[i] = rt.Submit(sql, Options{})
+	}
+	for i, h := range handles {
+		res, err := h.Wait()
+		if err != nil {
+			t.Fatalf("client %d (%q): %v", i, stmts[i], err)
+		}
+		sameRelation(t, stmts[i], want[i], res)
+	}
+	wall := time.Since(start)
+
+	m := rt.Metrics()
+	if m.LLMCalls >= seqCalls {
+		t.Errorf("runtime model calls = %d, want strictly fewer than %d sequential calls", m.LLMCalls, seqCalls)
+	}
+	if m.TotalJCT >= seqJCT {
+		t.Errorf("runtime total JCT = %.2fs, want strictly below %.2fs sequential", m.TotalJCT, seqJCT)
+	}
+	if m.CacheHits+m.InflightDeduped == 0 {
+		t.Error("no call was served without a model run; cache/dedup inert")
+	}
+	t.Logf("%d statements: %d model calls (sequential %d), JCT %.1fs (sequential %.1fs), "+
+		"cache hits %d, inflight dedup %d, coalesced runs %d, wall %.0fms",
+		len(stmts), m.LLMCalls, seqCalls, m.TotalJCT, seqJCT,
+		m.CacheHits, m.InflightDeduped, m.CoalescedRuns, float64(wall.Microseconds())/1000)
+}
+
+// BenchmarkMultiClientServing measures the runtime end to end on the
+// multi-client workload: submit everything, wait for all. The CI benchmark
+// smoke runs this at one iteration to catch rot. Reported custom metrics:
+// model calls and virtual serving seconds per iteration.
+func BenchmarkMultiClientServing(b *testing.B) {
+	stmts := multiClientWorkload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := newDB(45)
+		rt := New(db, Config{Workers: 8, BatchWindow: 5 * time.Millisecond})
+		handles := make([]*Handle, len(stmts))
+		for j, sql := range stmts {
+			handles[j] = rt.Submit(sql, Options{})
+		}
+		for j, h := range handles {
+			if _, err := h.Wait(); err != nil {
+				b.Fatalf("client %d: %v", j, err)
+			}
+		}
+		m := rt.Metrics()
+		rt.Close()
+		if i == b.N-1 {
+			b.ReportMetric(float64(m.LLMCalls), "llmcalls/op")
+			b.ReportMetric(m.TotalJCT, "jct-s/op")
+		}
+	}
+}
+
+// BenchmarkSequentialServing is the baseline the multi-client bench is read
+// against: the same statements through plain SQLDB.Exec, one at a time.
+func BenchmarkSequentialServing(b *testing.B) {
+	stmts := multiClientWorkload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db := newDB(45)
+		_, calls, jct := seqBaseline(b, db, stmts)
+		if i == b.N-1 {
+			b.ReportMetric(float64(calls), "llmcalls/op")
+			b.ReportMetric(jct, "jct-s/op")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package runtime
+
+import "sync"
+
+// inflight is one LLM call being computed right now. The owner resolves it
+// exactly once; subscribers block on done and then read val/err.
+type inflight struct {
+	done chan struct{}
+	val  string
+	err  error
+}
+
+func (f *inflight) wait() (string, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// resultCache is the exact-match LLM result cache plus the inflight table.
+// One lock covers both so a lookup classifies a key atomically: cached,
+// being computed by someone else, or ours to compute. Entries are evicted in
+// LRU order once capacity is exceeded; inflight entries are not counted
+// against capacity (they are transient and bounded by pending rows).
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*cacheEntry
+	head     *cacheEntry // most recently used
+	tail     *cacheEntry // least recently used
+	inflight map[string]*inflight
+}
+
+type cacheEntry struct {
+	key        string
+	val        string
+	prev, next *cacheEntry
+}
+
+// newResultCache sizes the cache; capacity <= 0 disables storing results
+// (inflight dedup still works — it needs no retention).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		entries:  make(map[string]*cacheEntry),
+		inflight: make(map[string]*inflight),
+	}
+}
+
+// classification of one key by acquire.
+type acquireState int
+
+const (
+	acquireHit        acquireState = iota // value returned, nothing to do
+	acquireSubscribed                     // someone else is computing; wait on the inflight
+	acquireOwned                          // caller must compute and then commit or fail
+)
+
+// acquire classifies key in one atomic step. On acquireHit val holds the
+// cached output; on acquireSubscribed fl is the computation to wait on; on
+// acquireOwned the caller has registered a new inflight entry (fl) it is
+// obligated to resolve via commit or fail.
+func (c *resultCache) acquire(key string) (state acquireState, val string, fl *inflight) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.touch(e)
+		return acquireHit, e.val, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		return acquireSubscribed, "", f
+	}
+	f := &inflight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return acquireOwned, "", f
+}
+
+// commit stores the computed value and wakes every subscriber.
+func (c *resultCache) commit(key, val string) {
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		delete(c.inflight, key)
+		f.val = val
+		close(f.done)
+	}
+	if c.capacity > 0 {
+		if e, ok := c.entries[key]; ok {
+			e.val = val
+			c.touch(e)
+		} else {
+			e := &cacheEntry{key: key, val: val}
+			c.entries[key] = e
+			c.pushFront(e)
+			for len(c.entries) > c.capacity {
+				lru := c.tail
+				c.unlink(lru)
+				delete(c.entries, lru.key)
+			}
+		}
+	}
+	c.mu.Unlock()
+}
+
+// fail resolves the inflight entry with an error; the key stays uncached so
+// a later statement retries.
+func (c *resultCache) fail(key string, err error) {
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		delete(c.inflight, key)
+		f.err = err
+		close(f.done)
+	}
+	c.mu.Unlock()
+}
+
+// len reports the number of cached (committed) entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// --- intrusive LRU list (mu held) ---------------------------------------
+
+func (c *resultCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *resultCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *resultCache) touch(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,110 @@
+package runtime
+
+import "sync/atomic"
+
+// counters is the runtime's hot-path accounting. Everything is atomic so
+// workers, batch flushes, and metric readers never contend on a lock.
+type counters struct {
+	statementsSubmitted atomic.Int64
+	statementsDone      atomic.Int64
+	statementsFailed    atomic.Int64
+
+	planCacheHits   atomic.Int64
+	planCacheMisses atomic.Int64
+
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	inflightDeduped atomic.Int64
+	rowsDeduped     atomic.Int64
+
+	batches         atomic.Int64
+	coalescedRuns   atomic.Int64
+	coalescedRows   atomic.Int64
+	llmCalls        atomic.Int64
+	directStages    atomic.Int64
+	jctMicros       atomic.Int64
+	solverMicros    atomic.Int64
+	promptTokens    atomic.Int64
+	matchedTokens   atomic.Int64
+	prefilledTokens atomic.Int64
+}
+
+// Metrics is a point-in-time snapshot of the runtime's accounting. The
+// JSON form rides in every /v1/sql response.
+type Metrics struct {
+	// StatementsSubmitted / StatementsDone / StatementsFailed count
+	// statements through the admission queue (failed ⊆ done).
+	StatementsSubmitted int64 `json:"statementsSubmitted"`
+	StatementsDone      int64 `json:"statementsDone"`
+	StatementsFailed    int64 `json:"statementsFailed"`
+
+	// PlanCacheHits / PlanCacheMisses count statement preparations served
+	// from (or inserted into) the parse+plan cache.
+	PlanCacheHits   int64 `json:"planCacheHits"`
+	PlanCacheMisses int64 `json:"planCacheMisses"`
+
+	// CacheHits / CacheMisses count per-row result-cache lookups.
+	// InflightDeduped counts rows that piggybacked on an identical call
+	// already being computed by a concurrent statement; RowsDeduped counts
+	// duplicate rows collapsed within one stage.
+	CacheHits       int64 `json:"cacheHits"`
+	CacheMisses     int64 `json:"cacheMisses"`
+	InflightDeduped int64 `json:"inflightDeduped"`
+	RowsDeduped     int64 `json:"rowsDeduped"`
+
+	// Batches counts engine runs; CoalescedRuns those that merged rows from
+	// more than one statement, CoalescedRows the rows that rode in them.
+	Batches       int64 `json:"batches"`
+	CoalescedRuns int64 `json:"coalescedRuns"`
+	CoalescedRows int64 `json:"coalescedRows"`
+	// LLMCalls counts rows actually sent to the serving engine — the number
+	// the result cache and both dedup layers exist to minimize.
+	LLMCalls int64 `json:"llmCalls"`
+	// DirectStages counts stages executed outside the cache/batch path
+	// (specs without content row keys cannot be cached).
+	DirectStages int64 `json:"directStages"`
+
+	// TotalJCT / TotalSolverSeconds sum virtual serving time and scheduling
+	// time over engine runs, each run counted exactly once (per-statement
+	// results instead attribute a shared batch to every participant).
+	TotalJCT           float64 `json:"totalJctSeconds"`
+	TotalSolverSeconds float64 `json:"totalSolverSeconds"`
+	// PromptTokens / MatchedTokens / PrefilledTokens aggregate the engines'
+	// prompt accounting; MatchedTokens/PromptTokens is the fleet-wide prefix
+	// cache hit rate.
+	PromptTokens    int64 `json:"promptTokens"`
+	MatchedTokens   int64 `json:"matchedTokens"`
+	PrefilledTokens int64 `json:"prefilledTokens"`
+}
+
+// HitRate is the fleet-wide prompt-token-weighted prefix-cache hit rate.
+func (m Metrics) HitRate() float64 {
+	if m.PromptTokens == 0 {
+		return 0
+	}
+	return float64(m.MatchedTokens) / float64(m.PromptTokens)
+}
+
+func (c *counters) snapshot() Metrics {
+	return Metrics{
+		StatementsSubmitted: c.statementsSubmitted.Load(),
+		StatementsDone:      c.statementsDone.Load(),
+		StatementsFailed:    c.statementsFailed.Load(),
+		PlanCacheHits:       c.planCacheHits.Load(),
+		PlanCacheMisses:     c.planCacheMisses.Load(),
+		CacheHits:           c.cacheHits.Load(),
+		CacheMisses:         c.cacheMisses.Load(),
+		InflightDeduped:     c.inflightDeduped.Load(),
+		RowsDeduped:         c.rowsDeduped.Load(),
+		Batches:             c.batches.Load(),
+		CoalescedRuns:       c.coalescedRuns.Load(),
+		CoalescedRows:       c.coalescedRows.Load(),
+		LLMCalls:            c.llmCalls.Load(),
+		DirectStages:        c.directStages.Load(),
+		TotalJCT:            float64(c.jctMicros.Load()) / 1e6,
+		TotalSolverSeconds:  float64(c.solverMicros.Load()) / 1e6,
+		PromptTokens:        c.promptTokens.Load(),
+		MatchedTokens:       c.matchedTokens.Load(),
+		PrefilledTokens:     c.prefilledTokens.Load(),
+	}
+}

@@ -1,0 +1,340 @@
+// Package runtime is the concurrent serving layer between the LLM-SQL front
+// end and the simulated serving engine: where sqlfront executes one
+// statement at a time, this package serves many at once and makes them
+// cheaper together than apart — the missing piece between the paper's
+// single-query optimizer and the serving platforms it targets.
+//
+// Architecture, top to bottom:
+//
+//	Submit/Exec/Prepare                    (statement API)
+//	      │
+//	admission queue ──► worker pool        (bounded concurrency; each worker
+//	      │                                 runs one statement end to end
+//	      │                                 through sqlfront's planner)
+//	      ▼
+//	plan cache                             (sql text → Prepared: parse, bind,
+//	      │                                 validate, and plan exactly once)
+//	      ▼
+//	per-stage RunStage hook                (injected as ExecConfig.StageRunner)
+//	      │
+//	      ├─ result cache    exact-match (prompt, row content, truth, budget)
+//	      │                  → answer; repeated dashboard rows skip the model
+//	      ├─ inflight dedup  identical concurrent calls run once; later
+//	      │                  statements piggyback on the first
+//	      └─ micro-batcher   pending misses that share a stage fingerprint
+//	            │            coalesce for a batch window, then run as ONE
+//	            ▼            GGR-reordered stage over the union of rows
+//	      llmsim engine      (one engine + one kvcache per coalesced run;
+//	                          kvcache.Cache is not concurrency-safe, so it is
+//	                          confined to the run that created it)
+//
+// The cross-query batcher is what turns the paper's reordering from a
+// per-query optimization into a fleet-level one: rows from different
+// statements that share a prompt prefix are scheduled adjacently, so the
+// prefix cache hits across queries, not just within one.
+//
+// Semantics: answers are content-keyed (sqlfront stages key every oracle
+// draw by row content), so caching, dedup, and batching never change what a
+// statement returns — with the same field-position caveat that
+// sqlfront.ExecConfig.Naive documents for the bundled datasets, whose
+// simulated accuracy depends on where the reordering places the key field.
+// On ad-hoc (CSV) tables, concurrent results are bit-identical to
+// sequential ones; the stress tests assert exactly that.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/sqlfront"
+)
+
+// Config sizes the runtime. The zero value serves with 4 workers, a 64-deep
+// admission queue, a 2ms batch window, and a 64k-entry result cache.
+type Config struct {
+	// Workers bounds concurrently executing statements.
+	Workers int
+	// QueueDepth bounds admitted-but-unscheduled statements; Submit blocks
+	// (backpressure) once the queue is full.
+	QueueDepth int
+	// BatchWindow is how long the first pending call of a stage fingerprint
+	// waits for concurrent statements to join its batch. Longer windows
+	// coalesce more at the cost of added latency; negative disables
+	// coalescing (every stage flushes immediately, dedup and caching still
+	// apply).
+	BatchWindow time.Duration
+	// MaxBatchRows flushes a batch early once it holds this many rows
+	// (default 4096; negative disables the cap).
+	MaxBatchRows int
+	// CacheCapacity bounds the result cache in entries, evicted LRU
+	// (default 65536; negative disables result caching — inflight dedup
+	// still collapses concurrent identical calls).
+	CacheCapacity int
+	// PlanCacheCapacity bounds the parse+plan cache in distinct statement
+	// texts (default 1024; negative disables plan caching). Statements that
+	// inline varying literals each count as a distinct text, so the bound
+	// keeps an open /v1/sql endpoint from growing memory without limit.
+	PlanCacheCapacity int
+	// Exec is the base execution config statements run under (policy,
+	// model, out-token defaults). Per-statement Options override Naive and
+	// Policy; StageRunner is always the runtime's own.
+	Exec sqlfront.ExecConfig
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 4
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c Config) batchWindow() time.Duration {
+	if c.BatchWindow != 0 {
+		return c.BatchWindow
+	}
+	return 2 * time.Millisecond
+}
+
+func (c Config) maxBatchRows() int {
+	if c.MaxBatchRows != 0 {
+		return c.MaxBatchRows
+	}
+	return 4096
+}
+
+func (c Config) cacheCapacity() int {
+	if c.CacheCapacity != 0 {
+		return c.CacheCapacity
+	}
+	return 65536
+}
+
+func (c Config) planCacheCapacity() int {
+	if c.PlanCacheCapacity != 0 {
+		return c.PlanCacheCapacity
+	}
+	return 1024
+}
+
+// Options tunes one statement's execution.
+type Options struct {
+	// Naive runs the statement's naive plan (no pushdown, dedup, or
+	// cost-ordered cascade) — the same A/B toggle as sqlfront.
+	Naive bool
+	// Policy overrides the runtime's base scheduling policy ("" keeps it).
+	Policy query.Policy
+}
+
+// Runtime is a concurrent LLM-SQL server over one table registry. Create it
+// with New, submit statements from any number of goroutines, and Close it to
+// drain. See the package comment for the architecture.
+type Runtime struct {
+	db      *sqlfront.DB
+	cfg     Config
+	queue   chan *job
+	wg      sync.WaitGroup
+	cache   *resultCache
+	batcher *batcher
+	c       counters
+
+	planMu sync.Mutex
+	plans  map[string]*sqlfront.Prepared
+
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+type job struct {
+	p    *sqlfront.Prepared
+	opts Options
+	h    *Handle
+}
+
+// Handle is a pending statement's future.
+type Handle struct {
+	done chan struct{}
+	res  *sqlfront.Result
+	err  error
+}
+
+// Wait blocks until the statement finishes and returns its result.
+func (h *Handle) Wait() (*sqlfront.Result, error) {
+	<-h.done
+	return h.res, h.err
+}
+
+// New starts a runtime over db. The caller owns db's registrations (tables
+// may be registered before or after New) and must Close the runtime to
+// release its workers.
+func New(db *sqlfront.DB, cfg Config) *Runtime {
+	rt := &Runtime{
+		db:    db,
+		cfg:   cfg,
+		queue: make(chan *job, cfg.queueDepth()),
+		cache: newResultCache(cfg.cacheCapacity()),
+		plans: make(map[string]*sqlfront.Prepared),
+	}
+	rt.batcher = newBatcher(rt)
+	for i := 0; i < cfg.workers(); i++ {
+		rt.wg.Add(1)
+		go rt.worker()
+	}
+	return rt
+}
+
+// DB returns the registry statements run against.
+func (rt *Runtime) DB() *sqlfront.DB { return rt.db }
+
+// Metrics snapshots the runtime's accounting.
+func (rt *Runtime) Metrics() Metrics { return rt.c.snapshot() }
+
+// CachedResults reports the result cache's current entry count.
+func (rt *Runtime) CachedResults() int { return rt.cache.len() }
+
+// Submit admits one statement and returns immediately with its future.
+// Admission blocks while the queue is full; a closed runtime fails fast.
+func (rt *Runtime) Submit(sql string, opts Options) *Handle {
+	p, err := rt.prepared(sql)
+	if err != nil {
+		return failedHandle(err)
+	}
+	return rt.submitPrepared(p, opts)
+}
+
+// Exec is Submit + Wait: run one statement to completion.
+func (rt *Runtime) Exec(sql string, opts Options) (*sqlfront.Result, error) {
+	return rt.Submit(sql, opts).Wait()
+}
+
+// Stmt is a prepared statement bound to the runtime: Execute skips parse,
+// bind, and planning on every run.
+type Stmt struct {
+	rt *Runtime
+	p  *sqlfront.Prepared
+}
+
+// Prepare parses and plans sql once, through the runtime's plan cache:
+// preparing the same text twice returns the same underlying plan.
+func (rt *Runtime) Prepare(sql string) (*Stmt, error) {
+	p, err := rt.prepared(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{rt: rt, p: p}, nil
+}
+
+// SQL returns the statement text.
+func (s *Stmt) SQL() string { return s.p.SQL() }
+
+// Submit admits the prepared statement and returns its future.
+func (s *Stmt) Submit(opts Options) *Handle { return s.rt.submitPrepared(s.p, opts) }
+
+// Execute runs the prepared statement to completion.
+func (s *Stmt) Execute(opts Options) (*sqlfront.Result, error) {
+	return s.Submit(opts).Wait()
+}
+
+// Close drains the admission queue, waits for in-flight statements, and
+// flushes any batch still waiting on its window. Statements submitted after
+// Close fail immediately.
+func (rt *Runtime) Close() {
+	rt.closeMu.Lock()
+	if rt.closed {
+		rt.closeMu.Unlock()
+		return
+	}
+	rt.closed = true
+	close(rt.queue)
+	rt.closeMu.Unlock()
+	rt.wg.Wait()
+	rt.batcher.flushAll()
+}
+
+// prepared resolves sql through the plan cache. The cache is bounded: past
+// capacity an arbitrary entry is evicted — a plan is cheap to rebuild, so
+// the bound (not the replacement policy) is what matters here.
+func (rt *Runtime) prepared(sql string) (*sqlfront.Prepared, error) {
+	limit := rt.cfg.planCacheCapacity()
+	rt.planMu.Lock()
+	p, ok := rt.plans[sql]
+	rt.planMu.Unlock()
+	if ok {
+		rt.c.planCacheHits.Add(1)
+		return p, nil
+	}
+	p, err := rt.db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	rt.c.planCacheMisses.Add(1)
+	if limit <= 0 {
+		return p, nil
+	}
+	rt.planMu.Lock()
+	if prev, ok := rt.plans[sql]; ok {
+		p = prev // lost a prepare race; share the winner
+	} else {
+		for len(rt.plans) >= limit {
+			for k := range rt.plans {
+				delete(rt.plans, k)
+				break
+			}
+		}
+		rt.plans[sql] = p
+	}
+	rt.planMu.Unlock()
+	return p, nil
+}
+
+func (rt *Runtime) submitPrepared(p *sqlfront.Prepared, opts Options) *Handle {
+	h := &Handle{done: make(chan struct{})}
+	rt.closeMu.RLock()
+	if rt.closed {
+		rt.closeMu.RUnlock()
+		h.err = fmt.Errorf("runtime: closed")
+		close(h.done)
+		return h
+	}
+	rt.c.statementsSubmitted.Add(1)
+	rt.queue <- &job{p: p, opts: opts, h: h}
+	rt.closeMu.RUnlock()
+	return h
+}
+
+func failedHandle(err error) *Handle {
+	h := &Handle{done: make(chan struct{}), err: err}
+	close(h.done)
+	return h
+}
+
+// worker executes admitted statements until the queue closes. Each statement
+// runs through sqlfront's planner with the runtime's stage executor hooked
+// in, so every LLM stage it reaches goes through the result cache, inflight
+// dedup, and the cross-query batcher.
+func (rt *Runtime) worker() {
+	defer rt.wg.Done()
+	for j := range rt.queue {
+		cfg := rt.cfg.Exec
+		cfg.Naive = j.opts.Naive
+		if j.opts.Policy != "" {
+			cfg.Policy = j.opts.Policy
+		}
+		cfg.StageRunner = rt.RunStage
+		res, err := j.p.Exec(cfg)
+		rt.c.statementsDone.Add(1)
+		if err != nil {
+			rt.c.statementsFailed.Add(1)
+		}
+		j.h.res, j.h.err = res, err
+		close(j.h.done)
+	}
+}

@@ -1,0 +1,165 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/table"
+)
+
+// RunStage is the runtime's stage executor, injected into
+// sqlfront.ExecConfig.StageRunner for every statement the runtime serves.
+// For each row of the stage it decides, in one atomic cache step, whether
+// the call's answer is already cached, already being computed by a
+// concurrent statement (inflight dedup), or ours to compute; owned rows go
+// through the cross-query micro-batcher. The returned StageResult matches
+// query.RunStage's contract — Outputs indexed by tbl's rows — with
+// ModelCalls reporting only the rows that actually reached an engine.
+//
+// Specs without content-derived row keys (Spec.RowKeys == nil) bypass the
+// cache and batcher: a positional row identity says nothing about the row's
+// content, so exact-match caching would be unsound. The LLM-SQL executor
+// always content-keys its stages.
+func (rt *Runtime) RunStage(spec query.Spec, tbl *table.Table, qcfg query.Config) (*query.StageResult, error) {
+	n := tbl.NumRows()
+	if n == 0 {
+		return &query.StageResult{Spec: spec, Rows: 0}, nil
+	}
+	if spec.RowKeys == nil {
+		rt.c.directStages.Add(1)
+		st, err := query.RunStage(spec, tbl, qcfg)
+		if err != nil {
+			return nil, err
+		}
+		rt.c.batches.Add(1)
+		rt.c.llmCalls.Add(int64(st.ModelCalls))
+		rt.c.jctMicros.Add(int64(st.Metrics.JCT * 1e6))
+		rt.c.solverMicros.Add(int64(st.SolverSeconds * 1e6))
+		rt.c.promptTokens.Add(st.Metrics.PromptTokens)
+		rt.c.matchedTokens.Add(st.Metrics.MatchedTokens)
+		rt.c.prefilledTokens.Add(st.Metrics.PrefilledTokens)
+		return st, nil
+	}
+
+	fp := stageFingerprint(spec, tbl.Columns(), qcfg)
+	keys := make([]string, n)
+	vals := make(map[string]string) // resolved outputs by row key
+	subs := make(map[string]*inflight)
+	seen := make(map[string]bool)
+	var ownedRows []int
+	var ownedKeys []string
+	for i := 0; i < n; i++ {
+		key := stageRowKey(fp, tbl, spec, i)
+		keys[i] = key
+		if seen[key] {
+			// Duplicate row content within this stage: one computation
+			// serves every copy.
+			rt.c.rowsDeduped.Add(1)
+			continue
+		}
+		seen[key] = true
+		switch state, val, fl := rt.cache.acquire(key); state {
+		case acquireHit:
+			rt.c.cacheHits.Add(1)
+			vals[key] = val
+		case acquireSubscribed:
+			rt.c.inflightDeduped.Add(1)
+			subs[key] = fl
+		case acquireOwned:
+			rt.c.cacheMisses.Add(1)
+			ownedRows = append(ownedRows, i)
+			ownedKeys = append(ownedKeys, key)
+		}
+	}
+
+	st := &query.StageResult{Spec: spec, Rows: n, ModelCalls: len(ownedRows)}
+	if len(ownedRows) > 0 {
+		m := rt.batcher.submit(fp, spec, tbl, ownedRows, qcfg)
+		<-m.done
+		if m.err != nil {
+			for _, key := range ownedKeys {
+				rt.cache.fail(key, m.err)
+			}
+			return nil, m.err
+		}
+		for j, key := range ownedKeys {
+			rt.cache.commit(key, m.outputs[j])
+			vals[key] = m.outputs[j]
+		}
+		// Attribute the coalesced run's serving cost to this statement: it
+		// waited for exactly this engine run. A batch shared by k statements
+		// is counted once in the runtime totals (see batcher.run) but
+		// appears in each participant's own Result.
+		st.Metrics = m.batch.Metrics
+		st.SolverSeconds = m.batch.SolverSeconds
+		st.PHC = m.batch.PHC
+	}
+	for key, fl := range subs {
+		v, err := fl.wait()
+		if err != nil {
+			return nil, fmt.Errorf("runtime: deduplicated call failed in its owning statement: %w", err)
+		}
+		vals[key] = v
+	}
+
+	outputs := make([]string, n)
+	for i, key := range keys {
+		outputs[i] = vals[key]
+	}
+	st.Outputs = outputs
+	return st, nil
+}
+
+// stageFingerprint identifies a batchable stage shape: two stages with equal
+// fingerprints ask the same question over the same schema under the same
+// serving configuration, so their rows may share one engine run and their
+// (content-keyed) answers may share cache entries. Every component is
+// length-prefixed, making the encoding injective.
+func stageFingerprint(spec query.Spec, cols []string, qcfg query.Config) string {
+	var sb strings.Builder
+	part := func(s string) {
+		fmt.Fprintf(&sb, "%d:%s;", len(s), s)
+	}
+	part(spec.Dataset)
+	part(string(spec.Type))
+	part(spec.UserPrompt)
+	part(spec.KeyField)
+	part(spec.TruthHidden)
+	fmt.Fprintf(&sb, "%d;", len(spec.Choices))
+	for _, c := range spec.Choices {
+		part(c)
+	}
+	fmt.Fprintf(&sb, "%d;", len(cols))
+	for _, c := range cols {
+		part(c)
+	}
+	// The serving config changes engine timing and (via the policy's field
+	// ordering) the oracle's position term, so it is part of the identity.
+	// GGR options are compared by pointer: distinct custom solvers never
+	// share a batch. Profile maps print with sorted keys, so the rendering
+	// is deterministic.
+	part(fmt.Sprintf("%s|%+v|%+v|%+v|%d|%d|%d|%p",
+		qcfg.Policy, qcfg.Model, qcfg.Cluster, qcfg.Oracle,
+		qcfg.MaxBatchSeqs, qcfg.MaxBatchTokens, qcfg.KVPoolBlocks, qcfg.GGR))
+	return sb.String()
+}
+
+// stageRowKey is the exact-match result-cache key of one row's LLM call: the
+// stage fingerprint plus the row's visible cells, its hidden ground truth
+// (two rows that read the same but carry different labels answer
+// differently), and its output budget (free-text answers scale with it).
+func stageRowKey(fp string, tbl *table.Table, spec query.Spec, row int) string {
+	var sb strings.Builder
+	sb.Grow(len(fp) + 64)
+	sb.WriteString(fp)
+	for _, cell := range tbl.Row(row) {
+		fmt.Fprintf(&sb, "%d:%s;", len(cell), cell)
+	}
+	truth := ""
+	if spec.TruthHidden != "" {
+		truth = tbl.HiddenValue(spec.TruthHidden, row)
+	}
+	fmt.Fprintf(&sb, "|%d:%s|%d", len(truth), truth, spec.OutTokensFor(row))
+	return sb.String()
+}

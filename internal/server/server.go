@@ -2,7 +2,12 @@
 // integration path the paper targets ("can be easily applied to existing
 // analytics systems and serving platforms"): an analytics engine POSTs the
 // rows and fields an LLM operator is about to send, and receives the
-// cache-maximizing request schedule plus the expected savings.
+// cache-maximizing request schedule plus the expected savings. With a
+// serving runtime attached (NewWithRuntime), the service additionally
+// executes whole LLM-SQL statements over its registered tables on POST
+// /v1/sql — concurrent requests share the runtime's result cache and
+// cross-query batcher, so a fleet of dashboard clients costs far fewer
+// model calls than the statements run in isolation.
 package server
 
 import (
@@ -15,6 +20,7 @@ import (
 	"repro/internal/llmsim"
 	"repro/internal/pricing"
 	"repro/internal/query"
+	"repro/internal/runtime"
 	"repro/internal/table"
 	"repro/internal/tokenizer"
 )
@@ -118,14 +124,84 @@ type SimulateResponse struct {
 	SolverMs      float64 `json:"solverMs"`
 }
 
-// New builds the service mux.
-func New() http.Handler {
+// New builds the stateless service mux (reorder/estimate/simulate only);
+// /v1/sql responds 503 until a runtime is attached via NewWithRuntime.
+func New() http.Handler { return NewWithRuntime(nil) }
+
+// NewWithRuntime builds the full service mux. rt, when non-nil, serves
+// POST /v1/sql: LLM-SQL statements over the runtime's registered tables,
+// executed concurrently with cross-query batching and result caching.
+func NewWithRuntime(rt *runtime.Runtime) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealth)
 	mux.HandleFunc("/v1/reorder", handleReorder)
 	mux.HandleFunc("/v1/estimate", handleEstimate)
 	mux.HandleFunc("/v1/simulate", handleSimulate)
+	mux.HandleFunc("/v1/sql", func(w http.ResponseWriter, r *http.Request) {
+		handleSQL(rt, w, r)
+	})
 	return mux
+}
+
+// SQLRequest is the /v1/sql body: one LLM-SQL statement over the serving
+// runtime's registered tables.
+type SQLRequest struct {
+	SQL string `json:"sql"`
+	// Naive runs the statement's unoptimized plan (no pushdown, dedup, or
+	// cost-ordered filter cascade) for A/B comparison.
+	Naive bool `json:"naive,omitempty"`
+	// Policy overrides the scheduling policy for this statement:
+	// "no-cache", "cache-original", or "cache-ggr" ("" keeps the runtime's
+	// default).
+	Policy string `json:"policy,omitempty"`
+}
+
+// SQLResponse carries the result relation, the statement's own serving
+// statistics, and a snapshot of the runtime's fleet-wide metrics.
+type SQLResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// JCT attributes every coalesced engine run the statement waited on;
+	// LLMCalls counts only rows this statement itself sent to an engine
+	// (cache hits and piggybacked calls are free).
+	JCT      float64 `json:"jctSeconds"`
+	HitRate  float64 `json:"hitRate"`
+	SolverMs float64 `json:"solverMs"`
+	LLMCalls int     `json:"llmCalls"`
+	Stages   int     `json:"stages"`
+	// Runtime is the fleet-wide accounting after this statement finished.
+	Runtime runtime.Metrics `json:"runtime"`
+}
+
+func handleSQL(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
+	if rt == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("no serving runtime attached; start the server with registered tables (llmqserve -csv/-dataset)"))
+		return
+	}
+	var req SQLRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
+		return
+	}
+	res, err := rt.Exec(req.SQL, runtime.Options{Naive: req.Naive, Policy: query.Policy(req.Policy)})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SQLResponse{
+		Columns:  res.Columns,
+		Rows:     res.Rows,
+		JCT:      res.JCT,
+		HitRate:  res.HitRate,
+		SolverMs: res.SolverSeconds * 1000,
+		LLMCalls: res.LLMCalls,
+		Stages:   res.Stages,
+		Runtime:  rt.Metrics(),
+	})
 }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,10 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"repro/internal/runtime"
+	"repro/internal/sqlfront"
+	"repro/internal/table"
 )
 
 func post(t *testing.T, h http.Handler, path string, body interface{}) *httptest.ResponseRecorder {
@@ -192,5 +196,85 @@ func TestRejectsUnknownFields(t *testing.T) {
 	New().ServeHTTP(rec, req)
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("unknown field accepted: %d", rec.Code)
+	}
+}
+
+// sqlHandler builds a service with a serving runtime over one ad-hoc table.
+func sqlHandler(t *testing.T) (http.Handler, *runtime.Runtime) {
+	t.Helper()
+	tbl := table.New("ticket_id", "region", "request")
+	for i := 0; i < 12; i++ {
+		tbl.MustAppendRow(
+			"T-"+string(rune('0'+i%10))+string(rune('a'+i)),
+			[]string{"emea", "amer"}[i%2],
+			"please fix issue number "+string(rune('0'+i%3)),
+		)
+	}
+	db := sqlfront.NewDB()
+	db.Register("tickets", tbl)
+	rt := runtime.New(db, runtime.Config{Workers: 2})
+	t.Cleanup(rt.Close)
+	return NewWithRuntime(rt), rt
+}
+
+func TestSQLEndpoint(t *testing.T) {
+	h, _ := sqlHandler(t)
+	rec := post(t, h, "/v1/sql", SQLRequest{
+		SQL: `SELECT ticket_id, LLM('Is this urgent?', request) AS urgent FROM tickets WHERE region = 'emea'`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	res := decode[SQLResponse](t, rec)
+	if len(res.Columns) != 2 || res.Columns[1] != "urgent" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 6 {
+		t.Errorf("rows = %d, want 6 (emea half)", len(res.Rows))
+	}
+	if res.LLMCalls == 0 || res.Stages != 1 {
+		t.Errorf("llmCalls = %d, stages = %d", res.LLMCalls, res.Stages)
+	}
+	if res.Runtime.StatementsDone != 1 {
+		t.Errorf("runtime statements = %d", res.Runtime.StatementsDone)
+	}
+
+	// A repeated dashboard statement is served from the result cache.
+	rec = post(t, h, "/v1/sql", SQLRequest{
+		SQL: `SELECT ticket_id, LLM('Is this urgent?', request) AS urgent FROM tickets WHERE region = 'emea'`,
+	})
+	res2 := decode[SQLResponse](t, rec)
+	if res2.LLMCalls != 0 {
+		t.Errorf("repeat made %d model calls, want 0", res2.LLMCalls)
+	}
+	if res2.Runtime.CacheHits == 0 || res2.Runtime.PlanCacheHits == 0 {
+		t.Errorf("runtime metrics after repeat = %+v", res2.Runtime)
+	}
+}
+
+func TestSQLEndpointNaiveToggle(t *testing.T) {
+	h, _ := sqlHandler(t)
+	stmt := `SELECT ticket_id, LLM('Summarize.', request) AS s FROM tickets
+	         WHERE LLM('Summarize.', request) <> 'x' AND region = 'amer'`
+	planned := decode[SQLResponse](t, post(t, h, "/v1/sql", SQLRequest{SQL: stmt, Policy: "no-cache"}))
+	naive := decode[SQLResponse](t, post(t, h, "/v1/sql", SQLRequest{SQL: stmt, Naive: true, Policy: "no-cache"}))
+	if naive.Stages <= planned.Stages {
+		t.Errorf("naive stages = %d, planned = %d; naive should run the duplicated call twice", naive.Stages, planned.Stages)
+	}
+	if len(naive.Rows) != len(planned.Rows) {
+		t.Errorf("naive rows = %d, planned rows = %d", len(naive.Rows), len(planned.Rows))
+	}
+}
+
+func TestSQLEndpointErrors(t *testing.T) {
+	h, _ := sqlHandler(t)
+	if rec := post(t, h, "/v1/sql", SQLRequest{}); rec.Code != http.StatusBadRequest {
+		t.Errorf("empty sql: %d", rec.Code)
+	}
+	if rec := post(t, h, "/v1/sql", SQLRequest{SQL: "SELECT nope FROM tickets"}); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown column: %d", rec.Code)
+	}
+	if rec := post(t, New(), "/v1/sql", SQLRequest{SQL: "SELECT a FROM t"}); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("no runtime: %d", rec.Code)
 	}
 }

@@ -8,16 +8,20 @@ import (
 // Query is a parsed LLM-SQL statement:
 //
 //	SELECT <items> FROM <tables> [WHERE <expr>]
-//	  [GROUP BY <cols>] [ORDER BY <col> [ASC|DESC]] [LIMIT <n>]
+//	  [GROUP BY <cols>] [HAVING <expr>]
+//	  [ORDER BY <col> [ASC|DESC] {, <col> [ASC|DESC]}] [LIMIT <n>]
 type Query struct {
 	Select []SelectItem
 	// From lists the statement's tables: the first entry is the anchor
 	// relation, every later entry carries the inner equi-join condition
 	// linking it to the tables before it.
 	From    []TableRef
-	Where   Expr       // nil when absent
-	GroupBy []ColRef   // nil when absent
-	OrderBy *OrderItem // nil when absent
+	Where   Expr     // nil when absent
+	GroupBy []ColRef // nil when absent
+	// Having filters groups after aggregation; its comparison leaves may
+	// have aggregate left sides (Compare.Agg). nil when absent.
+	Having  Expr
+	OrderBy []OrderItem // nil when absent; keys compared left to right
 	// Limit is -1 when absent. Note the zero value therefore means LIMIT 0
 	// (an empty result); construct queries via Parse, which sets the
 	// sentinel.
@@ -157,14 +161,33 @@ type NotExpr struct {
 	Inner Expr
 }
 
-// Compare is a leaf predicate: an LLM call or a plain column compared to a
-// string or numeric literal.
+// CompareOp is a comparison operator. The zero value renders and evaluates
+// as OpEq.
+type CompareOp string
+
+const (
+	OpEq  CompareOp = "="
+	OpNeq CompareOp = "<>"
+	OpLt  CompareOp = "<"
+	OpLe  CompareOp = "<="
+	OpGt  CompareOp = ">"
+	OpGe  CompareOp = ">="
+)
+
+// Compare is a leaf predicate: an LLM call, a plain column, or (in HAVING
+// only) an aggregate over either, compared to a string or numeric literal.
+// Ordered operators use valueLess's total order: finite numbers compare
+// numerically and sort before every non-numeric string.
 type Compare struct {
-	LLM      *LLMCall // nil for a plain-column comparison
-	Col      ColRef   // set when LLM is nil
-	Negated  bool     // true for <> / !=
-	Literal  string   // raw comparand text (unquoted)
-	IsNumber bool     // literal was a numeric token
+	LLM *LLMCall // nil for a plain-column comparison
+	Col ColRef   // set when LLM is nil (and Agg is not COUNT(*))
+	// Agg wraps the left side in an aggregate (HAVING only): Agg(Col),
+	// Agg(LLM(...)), or COUNT(*) when AggStar is set.
+	Agg      AggFunc
+	AggStar  bool
+	Op       CompareOp
+	Literal  string // raw comparand text (unquoted)
+	IsNumber bool   // literal was a numeric token
 }
 
 func (*BinaryExpr) isExpr() {}
@@ -201,14 +224,20 @@ func (e *NotExpr) String() string {
 
 func (e *Compare) String() string {
 	var lhs string
-	if e.LLM != nil {
+	switch {
+	case e.AggStar:
+		lhs = string(e.Agg) + "(*)"
+	case e.LLM != nil:
 		lhs = e.LLM.String()
-	} else {
+	default:
 		lhs = e.Col.render()
 	}
-	op := "="
-	if e.Negated {
-		op = "<>"
+	if e.Agg != AggNone && !e.AggStar {
+		lhs = string(e.Agg) + "(" + lhs + ")"
+	}
+	op := string(e.Op)
+	if op == "" {
+		op = string(OpEq)
 	}
 	rhs := "'" + strings.ReplaceAll(e.Literal, "'", "''") + "'"
 	if e.IsNumber {
@@ -266,11 +295,20 @@ func (q *Query) String() string {
 			sb.WriteString(c.render())
 		}
 	}
-	if q.OrderBy != nil {
+	if q.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(q.Having.String())
+	}
+	if len(q.OrderBy) > 0 {
 		sb.WriteString(" ORDER BY ")
-		sb.WriteString(q.OrderBy.Col.render())
-		if q.OrderBy.Desc {
-			sb.WriteString(" DESC")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Col.render())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
 		}
 	}
 	if q.Limit >= 0 {

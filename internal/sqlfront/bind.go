@@ -25,18 +25,22 @@ type scopedTable struct {
 	tbl   *table.Table
 }
 
-// scopeFor resolves a parsed FROM clause against the registry.
-func (db *DB) scopeFor(q *Query) (*scope, error) {
+// scopeFor resolves a parsed FROM clause against the registry. The table
+// pointers and the returned registry version are read under one lock, so the
+// scope is a consistent snapshot: later Register calls do not disturb it.
+func (db *DB) scopeFor(q *Query) (*scope, uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	sc := &scope{multi: len(q.From) > 1, tableOf: map[string]int{}}
 	seen := map[string]int{}
 	for i, ref := range q.From {
 		t, ok := db.tables[ref.Table]
 		if !ok {
-			return nil, fmt.Errorf("sql: table %q is not registered (%s)", ref.Table, db.registeredList())
+			return nil, 0, fmt.Errorf("sql: table %q is not registered (%s)", ref.Table, db.registeredListLocked())
 		}
 		alias := ref.Name()
 		if j, dup := seen[alias]; dup {
-			return nil, fmt.Errorf("sql: duplicate table name %q in FROM (tables %d and %d); disambiguate with AS", alias, j+1, i+1)
+			return nil, 0, fmt.Errorf("sql: duplicate table name %q in FROM (tables %d and %d); disambiguate with AS", alias, j+1, i+1)
 		}
 		seen[alias] = i
 		sc.tables = append(sc.tables, scopedTable{name: ref.Table, alias: alias, tbl: t})
@@ -46,10 +50,11 @@ func (db *DB) scopeFor(q *Query) (*scope, error) {
 			sc.tableOf[sc.canonical(i, col)] = i
 		}
 	}
-	return sc, nil
+	return sc, db.version, nil
 }
 
-func (db *DB) registeredList() string {
+// registeredListLocked needs db.mu held (either mode).
+func (db *DB) registeredListLocked() string {
 	if len(db.tables) == 0 {
 		return "no tables registered"
 	}
@@ -236,6 +241,19 @@ func bind(q *Query, sc *scope) ([]boundJoin, error) {
 			werr = bindCall(c.LLM, " in WHERE")
 		} else {
 			werr = bindCol(&c.Col, " in WHERE")
+		}
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	walkCompares(q.Having, func(c *Compare) {
+		if werr != nil || c.AggStar {
+			return
+		}
+		if c.LLM != nil {
+			werr = bindCall(c.LLM, " in HAVING")
+		} else {
+			werr = bindCol(&c.Col, " in HAVING")
 		}
 	})
 	if werr != nil {

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/query"
 	"repro/internal/table"
@@ -15,8 +16,16 @@ import (
 // DB is a registry of named tables that LLM-SQL statements run against.
 // Statements may join any number of registered tables (FROM a JOIN b ON ...),
 // including the same table under two aliases.
+//
+// A DB is safe for concurrent use: registration is guarded, statements
+// resolve their tables against a consistent snapshot of the registry, and
+// execution never mutates a registered table (stages project fresh copies).
+// Registering a new table under an existing name does not affect statements
+// already executing against the old one.
 type DB struct {
-	tables map[string]*table.Table
+	mu      sync.RWMutex
+	tables  map[string]*table.Table
+	version uint64
 }
 
 // NewDB returns an empty registry.
@@ -26,7 +35,30 @@ func NewDB() *DB {
 
 // Register makes t queryable under name (case-sensitive, last write wins).
 func (db *DB) Register(name string, t *table.Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.tables[name] = t
+	db.version++
+}
+
+// Version increments on every Register; prepared statements use it to detect
+// a stale registry snapshot.
+func (db *DB) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
+}
+
+// Tables returns the registered names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // ExecConfig extends the query execution config with output-length defaults
@@ -52,6 +84,12 @@ type ExecConfig struct {
 	// different stage inputs — so borderline rows can flip between plans
 	// there, exactly as a position-sensitive real model would.
 	Naive bool
+	// StageRunner, when non-nil, executes every LLM stage in place of
+	// query.RunStage. The concurrent serving runtime (internal/runtime)
+	// injects its cross-query batching and result-caching executor here; the
+	// hook must return outputs indexed by the stage table's rows, exactly as
+	// query.RunStage does.
+	StageRunner func(spec query.Spec, tbl *table.Table, cfg query.Config) (*query.StageResult, error)
 }
 
 func (c ExecConfig) filterOut() int {
@@ -107,9 +145,33 @@ func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
 // ExecParsed is Exec for an already-parsed statement (callers that inspect
 // the AST first, e.g. llmq.ExecSQL, avoid parsing twice). Binding resolves
 // q's column references in place, so q is consumed: executing it again
-// requires a fresh Parse.
+// requires a fresh Parse (or a Prepared statement, which keeps the bound
+// form and both plans for repeated execution).
 func (db *DB) ExecParsed(q *Query, cfg ExecConfig) (*Result, error) {
-	sc, err := db.scopeFor(q)
+	st, err := db.prepareParsed(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.execPlan(st, cfg)
+}
+
+// preparedState is a statement after parsing, binding, validation, and
+// planning: everything execution needs except the per-run configuration.
+// It is immutable after construction, so any number of executions may share
+// it concurrently.
+type preparedState struct {
+	q       *Query
+	sc      *scope
+	joins   []boundJoin
+	planned *Plan // optimized
+	naive   *Plan // occurrence-ordered, no pushdown
+	version uint64
+}
+
+// prepareParsed binds and plans a parsed statement against the current
+// registry snapshot. q is consumed (binding rewrites it in place).
+func (db *DB) prepareParsed(q *Query) (*preparedState, error) {
+	sc, version, err := db.scopeFor(q)
 	if err != nil {
 		return nil, err
 	}
@@ -120,22 +182,41 @@ func (db *DB) ExecParsed(q *Query, cfg ExecConfig) (*Result, error) {
 	if err := validate(q); err != nil {
 		return nil, err
 	}
-	pl, err := BuildPlan(q, sc, !cfg.Naive)
+	planned, err := BuildPlan(q, sc, true)
 	if err != nil {
 		return nil, err
+	}
+	naive, err := BuildPlan(q, sc, false)
+	if err != nil {
+		return nil, err
+	}
+	return &preparedState{q: q, sc: sc, joins: joins, planned: planned, naive: naive, version: version}, nil
+}
+
+// execPlan runs a prepared statement. It never mutates st, so concurrent
+// executions of the same prepared statement are safe.
+func (db *DB) execPlan(st *preparedState, cfg ExecConfig) (*Result, error) {
+	q, sc, joins := st.q, st.sc, st.joins
+	pl := st.planned
+	if cfg.Naive {
+		pl = st.naive
 	}
 
 	res := &Result{}
 	var promptTok, matchedTok int64
 	runStage := func(spec query.Spec, tbl *table.Table) (*query.StageResult, error) {
-		st, err := query.RunStage(spec, tbl, cfg.Config)
+		run := query.RunStage
+		if cfg.StageRunner != nil {
+			run = cfg.StageRunner
+		}
+		st, err := run(spec, tbl, cfg.Config)
 		if err != nil {
 			return nil, err
 		}
 		res.Stages++
 		res.JCT += st.Metrics.JCT
 		res.SolverSeconds += st.SolverSeconds
-		res.LLMCalls += st.Rows
+		res.LLMCalls += st.ModelCalls
 		promptTok += st.Metrics.PromptTokens
 		matchedTok += st.Metrics.MatchedTokens
 		return st, nil
@@ -253,7 +334,8 @@ func (db *DB) ExecParsed(q *Query, cfg ExecConfig) (*Result, error) {
 		outputs[st.Call.Key()] = outs
 	}
 
-	// 6. Materialize the output relation.
+	// 6. Materialize the output relation (HAVING filters groups here).
+	var err error
 	if isAggregated(q) {
 		err = buildGrouped(q, working, outputs, res)
 	} else {
@@ -398,10 +480,23 @@ func evalExpr(e Expr, row int, leaf map[*Compare]func(int) string) bool {
 	return false
 }
 
-// matches compares a cell or model output against the comparison's literal:
-// numerically whenever both sides parse as finite numbers ('5.0' equals a
-// score of 5, quoted or not), by exact string equality otherwise.
+// matches compares a cell or model output against the comparison's literal.
+// Equality (and its negation) holds numerically whenever both sides parse as
+// finite numbers ('5.0' equals a score of 5, quoted or not) and by exact
+// string equality otherwise; the ordered operators use valueLess's total
+// order, where finite numbers compare numerically and sort before every
+// non-numeric string.
 func (c *Compare) matches(actual string) bool {
+	switch c.Op {
+	case OpLt:
+		return valueLess(actual, c.Literal)
+	case OpLe:
+		return !valueLess(c.Literal, actual)
+	case OpGt:
+		return valueLess(c.Literal, actual)
+	case OpGe:
+		return !valueLess(actual, c.Literal)
+	}
 	eq := actual == c.Literal
 	if !eq {
 		if av, okA := parseNum(actual); okA {
@@ -410,7 +505,7 @@ func (c *Compare) matches(actual string) bool {
 			}
 		}
 	}
-	return eq != c.Negated
+	return eq != (c.Op == OpNeq)
 }
 
 // buildRowwise materializes a non-aggregate SELECT: one output row per
@@ -518,6 +613,15 @@ func buildGrouped(q *Query, working *table.Table, outputs map[string][]string, r
 
 	for _, k := range keys {
 		rows := rowsByKey[k]
+		if q.Having != nil {
+			pass, err := groupPasses(q.Having, working, rows, outputs)
+			if err != nil {
+				return err
+			}
+			if !pass {
+				continue
+			}
+		}
 		out := make([]string, 0, len(q.Select))
 		for _, item := range q.Select {
 			if item.Agg == AggNone {
@@ -543,6 +647,46 @@ func buildGrouped(q *Query, working *table.Table, outputs map[string][]string, r
 		res.Rows = append(res.Rows, out)
 	}
 	return nil
+}
+
+// groupPasses evaluates a HAVING expression for one group. Aggregate leaves
+// fold the group's values through the same aggregate machinery as SELECT
+// items; plain-column leaves read the group's (validated-constant) value.
+func groupPasses(e Expr, t *table.Table, rows []int, outputs map[string][]string) (bool, error) {
+	leaf := map[*Compare]func(int) string{}
+	var lerr error
+	walkCompares(e, func(c *Compare) {
+		if lerr != nil {
+			return
+		}
+		var v string
+		if c.Agg != AggNone {
+			item := SelectItem{Agg: c.Agg, AggStar: c.AggStar, LLM: c.LLM, Col: c.Col}
+			vals, err := aggInputs(item, t, rows, outputs)
+			if err != nil {
+				lerr = err
+				return
+			}
+			v = aggregate(c.Agg, c.AggStar, vals, len(rows))
+		} else {
+			// validate guarantees the column is grouped, so it is constant
+			// within the group.
+			ci, ok := t.ColIndex(c.Col.Column)
+			if !ok {
+				lerr = fmt.Errorf("sql: unknown column %q in HAVING", c.Col.Column)
+				return
+			}
+			if len(rows) > 0 {
+				v = t.Cell(rows[0], ci)
+			}
+		}
+		val := v
+		leaf[c] = func(int) string { return val }
+	})
+	if lerr != nil {
+		return false, lerr
+	}
+	return evalExpr(e, 0, leaf), nil
 }
 
 // aggInputs collects the values one aggregate ranges over within a group.
@@ -621,30 +765,52 @@ func aggregate(fn AggFunc, star bool, vals []string, groupSize int) string {
 	return ""
 }
 
-// applyOrderLimit sorts the result relation by the ORDER BY key and
-// truncates it to LIMIT. The key must name an output column of the
-// statement: an alias, a column as it was selected, or any spelling
-// (qualified or not) that resolves to a selected column's canonical name.
+// applyOrderLimit sorts the result relation by the ORDER BY keys (compared
+// left to right, each ascending or descending independently) and truncates it
+// to LIMIT. Every key must name an output column of the statement: an alias,
+// a column as it was selected, or any spelling (qualified or not) that
+// resolves to a selected column's canonical name.
 func applyOrderLimit(q *Query, res *Result, sc *scope) error {
-	if q.OrderBy != nil {
-		name := q.OrderBy.Col.display()
-		col := slices.Index(res.Columns, name)
-		if col < 0 && sc != nil {
-			// Not an alias or verbatim header; try the reference's canonical
-			// working-relation name (ORDER BY request ↔ SELECT t.request).
-			if canon, _, err := sc.resolve(q.OrderBy.Col, len(sc.tables), ""); err == nil {
-				col = slices.Index(res.Columns, canon)
+	if len(q.OrderBy) > 0 {
+		type sortKey struct {
+			col  int
+			desc bool
+		}
+		keys := make([]sortKey, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			name := o.Col.display()
+			col := slices.Index(res.Columns, name)
+			if col < 0 && sc != nil {
+				// Not an alias or verbatim header; try the reference's
+				// canonical working-relation name (ORDER BY request ↔
+				// SELECT t.request).
+				if canon, _, err := sc.resolve(o.Col, len(sc.tables), ""); err == nil {
+					col = slices.Index(res.Columns, canon)
+				}
 			}
+			if col < 0 {
+				return fmt.Errorf("sql: ORDER BY column %q is not an output column of the statement", name)
+			}
+			keys[i] = sortKey{col: col, desc: o.Desc}
 		}
-		if col < 0 {
-			return fmt.Errorf("sql: ORDER BY column %q is not an output column of the statement", name)
-		}
-		desc := q.OrderBy.Desc
 		sort.SliceStable(res.Rows, func(i, j int) bool {
-			if desc {
-				return valueLess(res.Rows[j][col], res.Rows[i][col])
+			for _, k := range keys {
+				a, b := res.Rows[i][k.col], res.Rows[j][k.col]
+				if a == b {
+					continue
+				}
+				if k.desc {
+					a, b = b, a
+				}
+				if valueLess(a, b) {
+					return true
+				}
+				if valueLess(b, a) {
+					return false
+				}
+				// Equal under the order (e.g. '5' vs '5.0'): next key.
 			}
-			return valueLess(res.Rows[i][col], res.Rows[j][col])
+			return false
 		})
 	}
 	if q.Limit >= 0 && len(res.Rows) > q.Limit {
@@ -690,8 +856,10 @@ func finishStats(res *Result, promptTok, matchedTok int64) {
 }
 
 // isAggregated reports whether the statement needs grouped evaluation.
+// HAVING forces it: a group filter over an ungrouped statement treats the
+// whole relation as one group, exactly like a bare aggregate select.
 func isAggregated(q *Query) bool {
-	if len(q.GroupBy) > 0 {
+	if len(q.GroupBy) > 0 || q.Having != nil {
 		return true
 	}
 	for _, item := range q.Select {
@@ -717,13 +885,13 @@ func validate(q *Query) error {
 		switch {
 		case item.Star:
 			if aggregated {
-				return fmt.Errorf("sql: SELECT * cannot be combined with aggregates or GROUP BY")
+				return fmt.Errorf("sql: SELECT * cannot be combined with aggregates, GROUP BY, or HAVING")
 			}
 		case item.Agg != AggNone:
 			// Any aggregate argument shape is legal.
 		case item.LLM != nil:
 			if aggregated {
-				return fmt.Errorf("sql: LLM projection must be wrapped in an aggregate when aggregates or GROUP BY are present")
+				return fmt.Errorf("sql: LLM projection must be wrapped in an aggregate when aggregates, GROUP BY, or HAVING are present")
 			}
 		default:
 			if aggregated && !grouped[item.Col.Column] {
@@ -731,7 +899,22 @@ func validate(q *Query) error {
 			}
 		}
 	}
-	return nil
+
+	// HAVING is evaluated per group: every leaf must be an aggregate or a
+	// grouped column; a bare LLM call would be a per-row value.
+	var herr error
+	walkCompares(q.Having, func(c *Compare) {
+		if herr != nil || c.Agg != AggNone {
+			return
+		}
+		switch {
+		case c.LLM != nil:
+			herr = fmt.Errorf("sql: LLM call in HAVING must be wrapped in an aggregate (it is a per-row value; HAVING filters groups)")
+		case !grouped[c.Col.Column]:
+			herr = fmt.Errorf("sql: column %q in HAVING must appear in GROUP BY or under an aggregate", c.Col.Column)
+		}
+	})
+	return herr
 }
 
 func aliasOr(item SelectItem, def string) string {

@@ -313,7 +313,7 @@ func TestOrderStagesByCost(t *testing.T) {
 	q := mustParse(t, `SELECT ticket_id FROM tickets WHERE LLM('Resolved?', request, response) = 'Yes' AND LLM('Short?', ticket_id) = 'Yes'`)
 	db := NewDB()
 	db.Register("tickets", tk)
-	sc, err := db.scopeFor(q)
+	sc, _, err := db.scopeFor(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestOrderStagesByCostPrefersSelective(t *testing.T) {
 	q := mustParse(t, `SELECT ticket_id FROM tickets WHERE (LLM('Wide?', request) = 'A' OR LLM('Wide?', request) = 'B') AND LLM('Narrow?', request) = 'A'`)
 	db := NewDB()
 	db.Register("tickets", tk)
-	sc, err := db.scopeFor(q)
+	sc, _, err := db.scopeFor(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +362,7 @@ func TestBuildPlanJoinPushdownClassification(t *testing.T) {
 	db := joinDB()
 	q := mustParse(t, `SELECT t.ticket_id FROM tickets AS t JOIN customers AS c ON t.customer_id = c.customer_id
 		WHERE t.ticket_id <> 'T-9999' AND c.tier = 'pro' AND (t.ticket_id = 'T-1000' OR c.region <> 'region-3') AND LLM('ok?', t.request) = 'Yes'`)
-	sc, err := db.scopeFor(q)
+	sc, _, err := db.scopeFor(q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,16 +3,21 @@
 // dialect. FROM clauses join any number of registered tables with inner
 // equi-joins; SELECT lists mix plain columns, LLM('prompt', fields...)
 // calls, and aggregates; WHERE clauses are boolean trees over LLM predicates
-// and plain-column comparisons; GROUP BY / ORDER BY / LIMIT shape the
-// output. Columns may be qualified with the table name or alias
-// (alias.column) anywhere a column is legal.
+// and plain-column comparisons (all six operators); GROUP BY / HAVING /
+// multi-key ORDER BY / LIMIT shape the output. Columns may be qualified with
+// the table name or alias (alias.column) anywhere a column is legal.
+// Statements execute one at a time through DB.Exec, repeatedly through
+// DB.Prepare, and concurrently — with cross-query batching and result
+// caching — through internal/runtime, which injects itself via
+// ExecConfig.StageRunner.
 //
 // Grammar (case-insensitive keywords; "..." are terminals):
 //
 //	query      = "SELECT" selectList "FROM" tableRef { "JOIN" tableRef "ON" colRef "=" colRef }
 //	             [ "WHERE" expr ]
 //	             [ "GROUP" "BY" colRef { "," colRef } ]
-//	             [ "ORDER" "BY" colRef [ "ASC" | "DESC" ] ]
+//	             [ "HAVING" havingExpr ]
+//	             [ "ORDER" "BY" orderItem { "," orderItem } ]
 //	             [ "LIMIT" number ] .
 //	tableRef   = ident [ "AS" ident ] .
 //	selectList = selectItem { "," selectItem } .
@@ -24,10 +29,14 @@
 //	llm        = "LLM" "(" string { "," field } ")" .
 //	field      = colRef | "*" | ident "." "*" .
 //	colRef     = ident [ "." ident ] .
+//	orderItem  = colRef [ "ASC" | "DESC" ] .
 //	expr       = andExpr { "OR" andExpr } .
 //	andExpr    = notExpr { "AND" notExpr } .
 //	notExpr    = "NOT" notExpr | "(" expr ")" | comparison .
-//	comparison = ( llm | colRef ) ( "=" | "<>" | "!=" ) ( string | number ) .
+//	comparison = ( llm | colRef ) compareOp ( string | number ) .
+//	havingExpr = like expr, but a comparison's left side may additionally be
+//	             aggFunc "(" ( llm | colRef | "*" ) ")" .
+//	compareOp  = "=" | "<>" | "!=" | "<" | "<=" | ">" | ">=" .
 //	string     = "'" chars-with-''-escape "'" .
 //	number     = digits [ "." digits ] .
 //	ident      = bare identifier (letters, digits, "_", "/")
@@ -64,6 +73,10 @@ const (
 	tokDot
 	tokEq
 	tokNeq
+	tokLt
+	tokLe
+	tokGt
+	tokGe
 	tokKeyword
 )
 
@@ -91,6 +104,14 @@ func (k tokenKind) String() string {
 		return "'='"
 	case tokNeq:
 		return "'<>'"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
 	case tokKeyword:
 		return "keyword"
 	}
@@ -107,7 +128,7 @@ var keywords = map[string]bool{
 	"LLM": true,
 	"AVG": true, "COUNT": true, "SUM": true, "MIN": true, "MAX": true,
 	"AND": true, "OR": true, "NOT": true,
-	"GROUP": true, "BY": true, "ORDER": true,
+	"GROUP": true, "BY": true, "ORDER": true, "HAVING": true,
 	"ASC": true, "DESC": true, "LIMIT": true,
 }
 
@@ -171,7 +192,19 @@ func (l *lexer) next() (token, error) {
 			l.i += 2
 			return token{kind: tokNeq, text: "<>", pos: start}, nil
 		}
-		return token{}, fmt.Errorf("sql: unexpected '<' at offset %d (only '<>' is supported)", start)
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
+			l.i += 2
+			return token{kind: tokLe, text: "<=", pos: start}, nil
+		}
+		l.i++
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case c == '>':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
+			l.i += 2
+			return token{kind: tokGe, text: ">=", pos: start}, nil
+		}
+		l.i++
+		return token{kind: tokGt, text: ">", pos: start}, nil
 	case c == '!':
 		if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
 			l.i += 2

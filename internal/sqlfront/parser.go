@@ -25,6 +25,9 @@ func Parse(src string) (*Query, error) {
 type parser struct {
 	toks []token
 	i    int
+	// inHaving permits aggregate left sides in comparisons while the HAVING
+	// expression is being parsed.
+	inHaving bool
 }
 
 func (p *parser) cur() token          { return p.toks[p.i] }
@@ -68,8 +71,8 @@ var aggFuncs = map[string]AggFunc{
 
 // query := SELECT selectList FROM tableRef {JOIN tableRef ON colRef '=' colRef}
 //
-//	[WHERE expr] [GROUP BY colRef {',' colRef}]
-//	[ORDER BY colRef [ASC|DESC]] [LIMIT number]
+//	[WHERE expr] [GROUP BY colRef {',' colRef}] [HAVING havingExpr]
+//	[ORDER BY colRef [ASC|DESC] {',' colRef [ASC|DESC]}] [LIMIT number]
 func (p *parser) query() (*Query, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
@@ -111,24 +114,40 @@ func (p *parser) query() (*Query, error) {
 			p.advance()
 		}
 	}
+	if p.atKeyword("HAVING") {
+		p.advance()
+		p.inHaving = true
+		e, err := p.orExpr()
+		p.inHaving = false
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
 	if p.atKeyword("ORDER") {
 		p.advance()
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		col, err := p.colRef()
-		if err != nil {
-			return nil, err
-		}
-		item := &OrderItem{Col: col}
-		switch {
-		case p.atKeyword("ASC"):
+		for {
+			col, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			switch {
+			case p.atKeyword("ASC"):
+				p.advance()
+			case p.atKeyword("DESC"):
+				p.advance()
+				item.Desc = true
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.at(tokComma) {
+				break
+			}
 			p.advance()
-		case p.atKeyword("DESC"):
-			p.advance()
-			item.Desc = true
 		}
-		q.OrderBy = item
 	}
 	if p.atKeyword("LIMIT") {
 		p.advance()
@@ -405,10 +424,46 @@ func (p *parser) notExpr() (Expr, error) {
 	return p.comparison()
 }
 
-// comparison := (llm | colRef) ('='|'<>'|'!=') (string | number)
+// comparison := lhs compareOp (string | number)
+// lhs        := llm | colRef
+//
+//	| aggFunc '(' (llm | colRef | '*') ')'   (HAVING only)
 func (p *parser) comparison() (Expr, error) {
 	c := &Compare{}
 	switch {
+	case p.cur().kind == tokKeyword && aggFuncs[p.cur().text] != AggNone:
+		if !p.inHaving {
+			return nil, p.errf("aggregate %s is only valid in HAVING, not WHERE", p.cur().text)
+		}
+		c.Agg = aggFuncs[p.advance().text]
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.at(tokStar):
+			if c.Agg != AggCount {
+				return nil, p.errf("'*' is only valid under COUNT, not %s", c.Agg)
+			}
+			p.advance()
+			c.AggStar = true
+		case p.atKeyword("LLM"):
+			call, err := p.llmCall()
+			if err != nil {
+				return nil, err
+			}
+			c.LLM = &call
+		case p.at(tokIdent):
+			col, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			c.Col = col
+		default:
+			return nil, p.errf("expected LLM call, column, or '*' under %s, found %s %q", c.Agg, p.cur().kind, p.cur().text)
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
 	case p.atKeyword("LLM"):
 		call, err := p.llmCall()
 		if err != nil {
@@ -422,16 +477,33 @@ func (p *parser) comparison() (Expr, error) {
 		}
 		c.Col = col
 	default:
-		return nil, p.errf("expected LLM call, column, NOT, or '(' in WHERE, found %s %q", p.cur().kind, p.cur().text)
+		clause := "WHERE"
+		if p.inHaving {
+			clause = "HAVING"
+		}
+		return nil, p.errf("expected LLM call, column, NOT, or '(' in %s, found %s %q", clause, p.cur().kind, p.cur().text)
 	}
 	switch {
 	case p.at(tokEq):
 		p.advance()
+		c.Op = OpEq
 	case p.at(tokNeq):
 		p.advance()
-		c.Negated = true
+		c.Op = OpNeq
+	case p.at(tokLt):
+		p.advance()
+		c.Op = OpLt
+	case p.at(tokLe):
+		p.advance()
+		c.Op = OpLe
+	case p.at(tokGt):
+		p.advance()
+		c.Op = OpGt
+	case p.at(tokGe):
+		p.advance()
+		c.Op = OpGe
 	default:
-		return nil, p.errf("expected '=' or '<>' in comparison, found %s %q", p.cur().kind, p.cur().text)
+		return nil, p.errf("expected a comparison operator (=, <>, <, <=, >, >=), found %s %q", p.cur().kind, p.cur().text)
 	}
 	switch {
 	case p.at(tokString):

@@ -123,7 +123,8 @@ func BuildPlan(q *Query, sc *scope, optimize bool) (*Plan, error) {
 	// Classify every distinct call by its richest use: Aggregation outranks
 	// Filter outranks Projection (see PlannedStage.Type). All literals a
 	// call is compared against are collected so a filter stage's answer
-	// alphabet covers every comparison branch.
+	// alphabet covers every comparison branch. Calls appearing under HAVING
+	// aggregates are Aggregation-typed like their SELECT counterparts.
 	typ := map[string]query.Type{}
 	literals := map[string][]string{}
 	for _, item := range q.Select {
@@ -131,6 +132,11 @@ func BuildPlan(q *Query, sc *scope, optimize bool) (*Plan, error) {
 			typ[item.LLM.Key()] = query.Aggregation
 		}
 	}
+	walkCompares(q.Having, func(c *Compare) {
+		if c.LLM != nil && c.Agg != AggNone {
+			typ[c.LLM.Key()] = query.Aggregation
+		}
+	})
 	walkCompares(pl.Residual, func(c *Compare) {
 		if c.LLM == nil {
 			return
@@ -157,15 +163,19 @@ func BuildPlan(q *Query, sc *scope, optimize bool) (*Plan, error) {
 
 	// An aggregation-typed stage emits numeric scores, so an equality
 	// against a literal that can never be a number would silently match
-	// nothing — reject the statement instead. The negated form is trivially
-	// true and stays legal.
+	// nothing — reject the statement instead. Every other operator stays
+	// legal: <> is trivially true, and the ordered operators compare under
+	// valueLess's total order, where numbers sort before non-numeric strings.
 	var perr error
 	walkCompares(pl.Residual, func(c *Compare) {
-		if perr != nil || c.LLM == nil || c.Negated || typ[c.LLM.Key()] != query.Aggregation {
+		if perr != nil || c.LLM == nil || typ[c.LLM.Key()] != query.Aggregation {
+			return
+		}
+		if c.Op != OpEq && c.Op != "" {
 			return
 		}
 		if _, err := strconv.ParseFloat(c.Literal, 64); err != nil {
-			perr = fmt.Errorf("sql: %s is aggregated in SELECT, so its WHERE equality needs a numeric literal, not %q", c.LLM, c.Literal)
+			perr = fmt.Errorf("sql: %s is aggregated elsewhere in the statement, so its WHERE equality needs a numeric literal, not %q", c.LLM, c.Literal)
 		}
 	})
 	if perr != nil {
@@ -198,6 +208,14 @@ func BuildPlan(q *Query, sc *scope, optimize bool) (*Plan, error) {
 			add(&pl.PostStages, *item.LLM)
 		}
 	}
+	// HAVING aggregates over LLM calls run as post stages too: they range
+	// over the rows surviving the whole WHERE, exactly like SELECT
+	// aggregates, and dedup against them via the same key.
+	walkCompares(q.Having, func(c *Compare) {
+		if c.LLM != nil {
+			add(&pl.PostStages, *c.LLM)
+		}
+	})
 	return pl, nil
 }
 

@@ -75,8 +75,10 @@ func randCall(r *rand.Rand, quals []string) LLMCall {
 	return c
 }
 
+var propOps = []CompareOp{OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe}
+
 func randCompare(r *rand.Rand, quals []string) *Compare {
-	c := &Compare{Negated: r.Intn(2) == 0}
+	c := &Compare{Op: propOps[r.Intn(len(propOps))]}
 	if r.Intn(2) == 0 {
 		call := randCall(r, quals)
 		c.LLM = &call
@@ -92,18 +94,32 @@ func randCompare(r *rand.Rand, quals []string) *Compare {
 	return c
 }
 
-// randExpr generates a boolean WHERE tree of bounded depth.
-func randExpr(r *rand.Rand, depth int, quals []string) Expr {
+// randHavingCompare generates a HAVING comparison leaf: an aggregate over a
+// column, an LLM call, or COUNT(*), compared against a literal.
+func randHavingCompare(r *rand.Rand, quals []string) *Compare {
+	c := randCompare(r, quals)
+	c.Agg = propAggs[r.Intn(len(propAggs))]
+	if c.Agg == AggCount && r.Intn(2) == 0 {
+		c.AggStar = true
+		c.LLM = nil
+		c.Col = ColRef{}
+	}
+	return c
+}
+
+// randExpr generates a boolean tree of bounded depth; leaf draws one
+// comparison leaf.
+func randExpr(r *rand.Rand, depth int, quals []string, leaf func(*rand.Rand, []string) *Compare) Expr {
 	if depth <= 0 || r.Intn(3) == 0 {
-		return randCompare(r, quals)
+		return leaf(r, quals)
 	}
 	switch r.Intn(4) {
 	case 0:
-		return &NotExpr{Inner: randExpr(r, depth-1, quals)}
+		return &NotExpr{Inner: randExpr(r, depth-1, quals, leaf)}
 	case 1:
-		return &BinaryExpr{Op: "OR", Left: randExpr(r, depth-1, quals), Right: randExpr(r, depth-1, quals)}
+		return &BinaryExpr{Op: "OR", Left: randExpr(r, depth-1, quals, leaf), Right: randExpr(r, depth-1, quals, leaf)}
 	default:
-		return &BinaryExpr{Op: "AND", Left: randExpr(r, depth-1, quals), Right: randExpr(r, depth-1, quals)}
+		return &BinaryExpr{Op: "AND", Left: randExpr(r, depth-1, quals, leaf), Right: randExpr(r, depth-1, quals, leaf)}
 	}
 }
 
@@ -127,13 +143,13 @@ func randAggItem(r *rand.Rand, quals []string) SelectItem {
 
 // randomQuery generates a structurally valid AST covering the full dialect:
 // multi-table FROM clauses with aliases and equi-joins, qualified column
-// references, boolean WHERE trees, the five aggregates, GROUP BY, ORDER BY,
-// and LIMIT.
+// references, boolean WHERE trees over all six comparison operators, the
+// five aggregates, GROUP BY, HAVING, multi-key ORDER BY, and LIMIT.
 func randomQuery(r *rand.Rand) *Query {
 	from, quals := randFrom(r)
 	q := &Query{From: from, Limit: -1}
 	if r.Intn(3) == 0 {
-		// Aggregated select list, optionally grouped.
+		// Aggregated select list, optionally grouped, optionally HAVING.
 		if r.Intn(2) == 0 {
 			n := 1 + r.Intn(2)
 			for i := 0; i < n; i++ {
@@ -145,6 +161,9 @@ func randomQuery(r *rand.Rand) *Query {
 		n := 1 + r.Intn(2)
 		for i := 0; i < n; i++ {
 			q.Select = append(q.Select, randAggItem(r, quals))
+		}
+		if r.Intn(2) == 0 {
+			q.Having = randExpr(r, 2, quals, randHavingCompare)
 		}
 	} else {
 		n := 1 + r.Intn(3)
@@ -169,10 +188,13 @@ func randomQuery(r *rand.Rand) *Query {
 		}
 	}
 	if r.Intn(2) == 0 {
-		q.Where = randExpr(r, 3, quals)
+		q.Where = randExpr(r, 3, quals, randCompare)
 	}
 	if r.Intn(3) == 0 {
-		q.OrderBy = &OrderItem{Col: randColRef(r, quals), Desc: r.Intn(2) == 0}
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			q.OrderBy = append(q.OrderBy, OrderItem{Col: randColRef(r, quals), Desc: r.Intn(2) == 0})
+		}
 	}
 	if r.Intn(3) == 0 {
 		q.Limit = r.Intn(10)

@@ -107,14 +107,17 @@ func TestLexNumbers(t *testing.T) {
 }
 
 func TestLexOperators(t *testing.T) {
-	got := kinds(t, "= <> !=")
-	if got[0] != tokEq || got[1] != tokNeq || got[2] != tokNeq {
-		t.Errorf("operators = %v", got)
+	got := kinds(t, "= <> != < <= > >=")
+	want := []tokenKind{tokEq, tokNeq, tokNeq, tokLt, tokLe, tokGt, tokGe}
+	for i, k := range want {
+		if got[i] != k {
+			t.Errorf("operator %d = %v, want %v", i, got[i], k)
+		}
 	}
 }
 
 func TestLexErrors(t *testing.T) {
-	for _, src := range []string{"'unterminated", `"unterminated`, "<", "!x", "#"} {
+	for _, src := range []string{"'unterminated", `"unterminated`, "!x", "#"} {
 		if _, err := lex(src); err == nil {
 			t.Errorf("lex(%q) succeeded", src)
 		}
@@ -161,7 +164,7 @@ func TestParseProjectionQuery(t *testing.T) {
 func TestParseFilterQuery(t *testing.T) {
 	q := mustParse(t, `SELECT movietitle FROM movies WHERE LLM('Suitable for kids?', movieinfo, genres) = 'Yes'`)
 	cmp, ok := q.Where.(*Compare)
-	if !ok || cmp.Literal != "Yes" || cmp.Negated || cmp.LLM == nil {
+	if !ok || cmp.Literal != "Yes" || cmp.Op != OpEq || cmp.LLM == nil {
 		t.Fatalf("where = %+v", q.Where)
 	}
 	if len(cmp.LLM.Fields) != 2 {
@@ -171,7 +174,7 @@ func TestParseFilterQuery(t *testing.T) {
 
 func TestParseNegatedPredicate(t *testing.T) {
 	q := mustParse(t, `SELECT a FROM t WHERE LLM('sentiment?', a) <> 'POSITIVE'`)
-	if !q.Where.(*Compare).Negated {
+	if q.Where.(*Compare).Op != OpNeq {
 		t.Error("negation lost")
 	}
 }
@@ -239,7 +242,7 @@ func TestParseGroupOrderLimit(t *testing.T) {
 	if len(q.GroupBy) != 1 || q.GroupBy[0].Column != "category" {
 		t.Fatalf("group by = %v", q.GroupBy)
 	}
-	if q.OrderBy == nil || q.OrderBy.Col.Column != "n" || !q.OrderBy.Desc {
+	if len(q.OrderBy) != 1 || q.OrderBy[0].Col.Column != "n" || !q.OrderBy[0].Desc {
 		t.Fatalf("order by = %+v", q.OrderBy)
 	}
 	if q.Limit != 3 {
@@ -329,7 +332,7 @@ func TestParseQualifiedEverywhere(t *testing.T) {
 	if q.GroupBy[0] != (ColRef{Qualifier: "a", Column: "x"}) {
 		t.Errorf("group by = %+v", q.GroupBy)
 	}
-	if q.OrderBy.Col != (ColRef{Qualifier: "a", Column: "x"}) {
+	if q.OrderBy[0].Col != (ColRef{Qualifier: "a", Column: "x"}) {
 		t.Errorf("order by = %+v", q.OrderBy)
 	}
 	cmp := q.Where.(*BinaryExpr).Left.(*Compare)

@@ -29,6 +29,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/pricing"
 	"repro/internal/query"
+	"repro/internal/runtime"
 	"repro/internal/sqlfront"
 	"repro/internal/table"
 	"repro/internal/tokenizer"
@@ -248,8 +249,10 @@ func NewSQLDB() *SQLDB { return sqlfront.NewDB() }
 //
 // SELECT lists mix plain columns, LLM('prompt', fields...) calls, and the
 // aggregates COUNT/SUM/MIN/MAX/AVG (COUNT(*) included); WHERE clauses are
-// AND/OR/NOT trees over LLM and plain-column comparisons against string or
-// numeric literals. Every statement passes through a logical planner that
+// AND/OR/NOT trees over LLM and plain-column comparisons (=, <>, <, <=, >,
+// >=) against string or numeric literals; HAVING filters groups on
+// aggregate outputs, and ORDER BY takes multiple keys. Every statement
+// passes through a logical planner that
 // pushes LLM-free predicates below any model call (and, on a SQLDB, below
 // the join), runs each distinct LLM call exactly once per statement, and
 // cascades multiple LLM filters cheapest-first; set SQLConfig.Naive to true
@@ -266,6 +269,26 @@ func ExecSQL(sql string, tableName string, t *Table, cfg SQLConfig) (*SQLResult,
 	db.Register(tableName, t)
 	return db.ExecParsed(q, cfg)
 }
+
+// --- serving runtime -----------------------------------------------------------
+
+// Runtime is the concurrent LLM-SQL serving layer: statements submitted
+// from any number of goroutines run on a bounded worker pool; pending LLM
+// calls that share a prompt coalesce across queries into GGR-ordered
+// batches; an exact-match result cache plus inflight dedup keep repeated
+// statements from paying for the same model call twice; and Prepare/Execute
+// handles skip parse and planning on every rerun. See internal/runtime for
+// the architecture.
+type (
+	Runtime        = runtime.Runtime
+	RuntimeConfig  = runtime.Config
+	RuntimeOptions = runtime.Options
+	RuntimeMetrics = runtime.Metrics
+)
+
+// NewRuntime starts a serving runtime over a SQL database. Close it to
+// drain the worker pool.
+func NewRuntime(db *SQLDB, cfg RuntimeConfig) *Runtime { return runtime.New(db, cfg) }
 
 // --- experiment harness --------------------------------------------------------
 
