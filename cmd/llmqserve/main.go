@@ -3,14 +3,16 @@
 //
 //	llmqserve -addr :8080
 //	llmqserve -addr :8080 -csv tickets=tickets.csv -dataset Movies -workers 8
+//	llmqserve -addr :8080 -csv tickets=tickets.csv -backend persistent
 //
-// Endpoints (JSON over POST):
+// Endpoints (JSON over POST unless noted):
 //
 //	/v1/reorder   {table:{columns,rows,fds}, algorithm?} -> schedule + PHC
 //	/v1/estimate  {provider, hitOriginal, hitGGR}        -> cost savings
 //	/v1/simulate  {table, prompt, policy?}               -> serving metrics
 //	/v1/sql       {sql, naive?, policy?}                 -> result relation +
 //	              per-statement serving stats + fleet-wide runtime metrics
+//	/v1/metrics   (GET) fleet-wide runtime metrics snapshot
 //	/healthz      (GET)
 //
 // /v1/sql executes LLM-SQL statements over the tables registered with -csv
@@ -19,8 +21,19 @@
 // pending LLM calls that share a prompt coalesce across requests into
 // GGR-reordered batches (-batch-window), and an exact-match result cache
 // plus inflight dedup keep repeated dashboard statements from paying for
-// model calls twice. Without registrations the endpoint answers 503 and the
-// three stateless endpoints work as before.
+// model calls twice. Each statement is scoped to its HTTP request's context,
+// so a disconnecting client cancels its statement. Without registrations the
+// endpoint answers 503 and the three stateless endpoints work as before.
+//
+// -backend selects the serving target behind the whole stack (the
+// llmq.Backend seam): "sim" builds one confined engine per batch (the
+// paper's setting); "persistent" keeps a long-lived engine per stage
+// fingerprint so the prefix cache survives between batch windows — repeated
+// dashboard refreshes hit prefixes cached by earlier refreshes.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
+// connections, drains in-flight requests for up to -drain, then closes the
+// runtime (flushing any batch still waiting on its window) and the backend.
 //
 // Example:
 //
@@ -29,14 +42,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/datagen"
 	"repro/internal/runtime"
 	"repro/internal/server"
@@ -59,14 +76,21 @@ func main() {
 	flag.Var(&csvs, "csv", "CSV to register for /v1/sql, as name=path (repeatable)")
 	flag.Var(&datasets, "dataset", "bundled dataset to register under its own name (repeatable)")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		scale   = flag.Float64("scale", 0.05, "dataset scale when -dataset is used")
-		seed    = flag.Int64("seed", 1, "dataset seed")
-		workers = flag.Int("workers", 4, "concurrent statement executors")
-		window  = flag.Duration("batch-window", 2*time.Millisecond, "cross-query batch coalescing window")
-		cache   = flag.Int("cache", 65536, "result cache capacity in entries (negative disables)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		scale       = flag.Float64("scale", 0.05, "dataset scale when -dataset is used")
+		seed        = flag.Int64("seed", 1, "dataset seed")
+		workers     = flag.Int("workers", 4, "concurrent statement executors")
+		window      = flag.Duration("batch-window", 2*time.Millisecond, "cross-query batch coalescing window")
+		cache       = flag.Int("cache", 65536, "result cache capacity in entries (negative disables)")
+		backendName = flag.String("backend", "sim", "serving backend: sim (one engine per batch) or persistent (long-lived engine per stage, prefix cache survives between batches)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
+
+	be, err := backend.ByName(*backendName)
+	if err != nil {
+		fatal(err)
+	}
 
 	var rt *runtime.Runtime
 	if len(csvs) > 0 || len(datasets) > 0 {
@@ -99,9 +123,10 @@ func main() {
 			Workers:       *workers,
 			BatchWindow:   *window,
 			CacheCapacity: *cache,
+			Backend:       be,
 		})
-		log.Printf("llmqserve: /v1/sql serving tables %s (%d workers, %s batch window)",
-			strings.Join(db.Tables(), ", "), *workers, *window)
+		log.Printf("llmqserve: /v1/sql serving tables %s (%d workers, %s batch window, %s backend)",
+			strings.Join(db.Tables(), ", "), *workers, *window, *backendName)
 	} else {
 		log.Printf("llmqserve: no tables registered; /v1/sql disabled (use -csv/-dataset)")
 	}
@@ -113,14 +138,44 @@ func main() {
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
 	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections, let
+	// in-flight statements finish (bounded by -drain), then drain the
+	// runtime's worker pool so nothing dies mid-batch.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("llmqserve listening on %s", *addr)
-	err := srv.ListenAndServe()
+
+	select {
+	case err := <-errCh:
+		// Listener died on its own; drain what we can and report.
+		shutdown(rt, be)
+		log.Fatal(err)
+	case <-sigCtx.Done():
+		stop() // restore default signal behavior: a second signal kills hard
+		log.Printf("llmqserve: signal received, draining for up to %s", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("llmqserve: shutdown: %v", err)
+		}
+		shutdown(rt, be)
+		log.Printf("llmqserve: drained, exiting")
+	}
+}
+
+// shutdown drains the runtime (in-flight statements complete, pending
+// batches flush) and releases the backend's long-lived engines.
+func shutdown(rt *runtime.Runtime, be backend.Backend) {
 	if rt != nil {
-		// Drain in-flight statements before exiting (log.Fatal would skip
-		// deferred calls).
 		rt.Close()
 	}
-	log.Fatal(err)
+	if be != nil {
+		_ = be.Close()
+	}
 }
 
 func fatal(err error) {

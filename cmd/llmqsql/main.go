@@ -25,7 +25,10 @@
 // be measured.
 //
 // The -policy flag switches scheduling (no-cache / cache-original /
-// cache-ggr) without changing results; serving statistics print on stderr.
+// cache-ggr) without changing results; -backend picks the serving target
+// ("sim" = one engine per stage batch, "persistent" = long-lived engines
+// whose prefix cache survives between this statement's stages that share a
+// prompt). Neither changes results; serving statistics print on stderr.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/datagen"
 	"repro/internal/query"
 	"repro/internal/sqlfront"
@@ -60,6 +64,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "dataset seed")
 		policy  = flag.String("policy", "cache-ggr", "no-cache, cache-original, or cache-ggr")
 		naive   = flag.Bool("naive", false, "disable the logical planner (no pushdown, dedup, or cost-ordered filters)")
+		beName  = flag.String("backend", "sim", "serving backend: sim or persistent")
 		maxRows = flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	)
 	flag.Parse()
@@ -113,7 +118,13 @@ func main() {
 		register(name, t)
 	}
 
-	cfg := sqlfront.ExecConfig{Config: query.Config{Policy: query.Policy(*policy)}, Naive: *naive}
+	be, err := backend.ByName(*beName)
+	if err != nil {
+		fatal(err)
+	}
+	defer be.Close()
+
+	cfg := sqlfront.ExecConfig{Config: query.Config{Policy: query.Policy(*policy), Backend: be}, Naive: *naive}
 	res, err := db.Exec(flag.Arg(0), cfg)
 	if err != nil {
 		fatal(err)

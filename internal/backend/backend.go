@@ -1,0 +1,102 @@
+// Package backend defines the execution boundary between the query layers
+// and an LLM serving engine: a database/sql-driver-style seam the rest of
+// the stack targets instead of constructing engines inline.
+//
+// The layers above (internal/query, internal/sqlfront, internal/runtime)
+// decide WHAT to serve — which rows, in which order, with which per-row
+// output budgets — and hand the finished schedule to a Backend as one
+// BatchSpec. The Backend decides WHERE and HOW it is served. Three
+// implementations ship:
+//
+//   - Sim: one confined engine + KV cache per batch (the paper's setting,
+//     and the previous hardwired behavior).
+//   - Persistent: a long-lived engine per stage fingerprint whose KV cache
+//     survives between batches, so prefix hits span batch windows — the
+//     cross-statement KV-cache persistence the single-run design could not
+//     express.
+//   - Recording: a decorator that logs every batch for tests and metrics.
+//
+// Because the simulated oracle answers outside the engine (answers are
+// content-keyed in the query layer), swapping backends changes serving cost
+// only — result relations are byte-identical across all of them.
+//
+// Every RunBatch takes a context and must honor it: cancellation is checked
+// on entry and between engine steps, and an aborted run returns ctx.Err()
+// with no engine state leaked (see llmsim.Engine.RunInterruptible).
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/llmsim"
+)
+
+// BatchSpec is one scheduled engine run: tokenized requests in serving
+// order, each carrying its own output budget, plus the engine configuration
+// to serve them under and a stage key for backends that keep per-stage
+// state.
+type BatchSpec struct {
+	// StageKey fingerprints the stage shape (prompt, schema, answer
+	// alphabet, serving config — see query.StageKey). Persistent backends
+	// key long-lived engine state on it: two batches with equal keys share
+	// a KV cache, so their prefixes hit across batch windows. Batches with
+	// equal StageKeys must carry equal Engine configs.
+	StageKey string
+	// Requests are the scheduled rows in serving order. Under FIFO the
+	// order IS the serving order; preserving it is the contract the offline
+	// reordering relies on.
+	Requests []*llmsim.Request
+	// Engine sizes the serving engine (cost model, batch limits, cache
+	// toggle) for this batch.
+	Engine llmsim.Config
+}
+
+// BatchResult reports one engine run: model calls made, hit/total prompt
+// tokens, and latency (all inside Metrics).
+type BatchResult struct {
+	// Metrics is the engine's accounting: JCT, prompt/matched/prefilled
+	// tokens, per-request latency percentiles.
+	Metrics llmsim.Metrics
+	// ModelCalls is the number of requests that reached the engine —
+	// always len(BatchSpec.Requests) for the shipped backends; callers
+	// above may report fewer when caches served rows without a batch.
+	ModelCalls int
+}
+
+// Backend is a pluggable serving target. Implementations must be safe for
+// concurrent RunBatch calls from any number of goroutines (the serving
+// runtime's workers share one backend) and must honor ctx: a canceled
+// context aborts the run between engine steps and returns ctx.Err().
+//
+// Close releases any long-lived engine state; the backend's owner calls it
+// once, and RunBatch must not be called afterwards.
+type Backend interface {
+	RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, error)
+	Close() error
+}
+
+// ByName builds a backend from its flag/config name — the single resolver
+// behind every -backend flag, so the tools and benches cannot drift apart:
+// "sim" is the per-batch engine, "persistent" a NewPersistent with the
+// default engine budget.
+func ByName(name string) (Backend, error) {
+	switch name {
+	case "sim":
+		return NewSim(), nil
+	case "persistent":
+		return NewPersistent(0), nil
+	default:
+		return nil, fmt.Errorf("backend: unknown backend %q: want sim or persistent", name)
+	}
+}
+
+// interruptFor adapts a context to the engine's per-step cancellation hook.
+// A context that can never be canceled polls as nil, keeping the engine's
+// hot loop branch-free in the common case.
+func interruptFor(ctx context.Context) func() error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return ctx.Err
+}

@@ -1,0 +1,123 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/llmsim"
+)
+
+// DefaultEngineBudget bounds how many long-lived engines a Persistent
+// backend retains before evicting the least recently used one.
+const DefaultEngineBudget = 16
+
+// Persistent serves each stage fingerprint on a long-lived engine whose KV
+// cache survives between batches: the second batch window of a dashboard
+// refresh finds the first window's prompt prefixes already cached, so
+// prefix hits span batch windows — and statements — instead of stopping at
+// the edge of one engine run. This closes the cross-statement KV-cache
+// persistence gap the per-batch Sim backend cannot express.
+//
+// Engines are keyed by BatchSpec.StageKey and retained under an LRU
+// eviction budget: past the budget the least recently used stage's engine
+// (and its cached prefixes) is dropped. kvcache.Cache is not safe for
+// concurrent use, so each engine's runs are serialized by a per-engine
+// mutex; batches with distinct stage keys run concurrently.
+type Persistent struct {
+	mu      sync.Mutex
+	closed  bool
+	budget  int
+	engines map[string]*persistentEngine
+	order   []string // stage keys, least recently used first
+}
+
+type persistentEngine struct {
+	mu  sync.Mutex // serializes runs: the KV cache is single-threaded
+	eng *llmsim.Engine
+}
+
+var _ Backend = (*Persistent)(nil)
+
+// NewPersistent returns a persistent backend retaining up to engineBudget
+// live engines (<= 0 uses DefaultEngineBudget).
+func NewPersistent(engineBudget int) *Persistent {
+	if engineBudget <= 0 {
+		engineBudget = DefaultEngineBudget
+	}
+	return &Persistent{
+		budget:  engineBudget,
+		engines: make(map[string]*persistentEngine),
+	}
+}
+
+// RunBatch serves the batch on the stage's long-lived engine, creating it
+// on first use and evicting the least recently used engine past the budget.
+func (p *Persistent) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return BatchResult{}, err
+	}
+	pe, err := p.engineFor(spec)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	metrics, err := pe.eng.RunInterruptible(spec.Requests, interruptFor(ctx))
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{Metrics: metrics, ModelCalls: len(spec.Requests)}, nil
+}
+
+// Engines reports the number of live engines (for tests and metrics).
+func (p *Persistent) Engines() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.engines)
+}
+
+// Close drops every engine. Batches running at Close time finish on their
+// (now unreferenced) engines; subsequent RunBatch calls fail.
+func (p *Persistent) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.engines = nil
+	p.order = nil
+	return nil
+}
+
+// engineFor resolves the stage's engine under the LRU budget. Eviction only
+// removes the map entry: a batch mid-run on an evicted engine holds its own
+// reference and completes normally; the engine is garbage once it finishes.
+func (p *Persistent) engineFor(spec BatchSpec) (*persistentEngine, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("backend: persistent backend is closed")
+	}
+	if pe, ok := p.engines[spec.StageKey]; ok {
+		p.touch(spec.StageKey)
+		return pe, nil
+	}
+	for len(p.engines) >= p.budget {
+		oldest := p.order[0]
+		p.order = p.order[1:]
+		delete(p.engines, oldest)
+	}
+	pe := &persistentEngine{eng: llmsim.New(spec.Engine)}
+	p.engines[spec.StageKey] = pe
+	p.order = append(p.order, spec.StageKey)
+	return pe, nil
+}
+
+// touch moves key to the most-recently-used end of the eviction order.
+func (p *Persistent) touch(key string) {
+	for i, k := range p.order {
+		if k == key {
+			p.order = append(append(p.order[:i:i], p.order[i+1:]...), key)
+			return
+		}
+	}
+}

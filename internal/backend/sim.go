@@ -1,0 +1,41 @@
+package backend
+
+import (
+	"context"
+
+	"repro/internal/llmsim"
+)
+
+// Sim is the confined per-batch backend: every RunBatch builds a fresh
+// simulated engine and KV cache, runs the batch, and discards both. This is
+// the paper's evaluation setting — prefix hits happen only within one
+// scheduled batch — and exactly the behavior the stack had before the
+// Backend seam existed. Sim is stateless, so one instance may serve any
+// number of concurrent batches.
+type Sim struct{}
+
+var _ Backend = (*Sim)(nil)
+
+// NewSim returns the per-batch backend.
+func NewSim() *Sim { return &Sim{} }
+
+// RunBatch serves the batch on a throwaway engine.
+func (s *Sim) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return BatchResult{}, err
+	}
+	eng := llmsim.New(spec.Engine)
+	metrics, err := eng.RunInterruptible(spec.Requests, interruptFor(ctx))
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{Metrics: metrics, ModelCalls: len(spec.Requests)}, nil
+}
+
+// Close is a no-op: Sim holds no state.
+func (s *Sim) Close() error { return nil }
+
+// Default is the process-wide backend execution falls back to when a config
+// names none. It is the Sim backend, preserving the pre-seam behavior for
+// every caller that never opts into another target.
+var Default Backend = NewSim()

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -68,6 +69,19 @@ type Config struct {
 	// OPHRNodeBudget bounds the exact solver in table6 (default 3e6 nodes),
 	// standing in for the paper's two-hour timeout.
 	OPHRNodeBudget int64
+
+	// ctx is the run's cancellation scope, set by RunContext (nil means
+	// Background). Runners thread it into every simulated query, so a
+	// canceled experiment stops at the next query boundary (or between
+	// engine steps inside one).
+	ctx context.Context
+}
+
+func (c Config) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 func (c Config) scale() float64 {
@@ -221,12 +235,22 @@ func Experiments() []string {
 
 // Run executes one experiment by ID.
 func Run(id string, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext is Run honoring ctx: the experiment's simulated queries run
+// under it, so cancellation stops the run at the next query boundary.
+func RunContext(ctx context.Context, id string, cfg Config) (*Report, error) {
 	r, ok := registry[id]
 	if !ok {
 		ids := Experiments()
 		sort.Strings(ids)
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg.ctx = ctx
 	return r(cfg)
 }
 

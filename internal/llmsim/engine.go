@@ -158,6 +158,16 @@ func New(cfg Config) *Engine {
 // rely on) and returns aggregate metrics. Request result fields are filled
 // in place.
 func (e *Engine) Run(reqs []*Request) (Metrics, error) {
+	return e.RunInterruptible(reqs, nil)
+}
+
+// RunInterruptible is Run with a cooperative cancellation hook: interrupt,
+// when non-nil, is polled once per engine step, and a non-nil return aborts
+// the run mid-batch with that error. Before returning, every admitted
+// request's KV lease is released, so a long-lived engine (persistent
+// backends reuse one Engine across runs) never leaks pinned blocks to an
+// aborted batch. Metrics reflect the work done up to the abort.
+func (e *Engine) RunInterruptible(reqs []*Request, interrupt func() error) (Metrics, error) {
 	var m Metrics
 	clock := 0.0
 	waiting := append([]*Request(nil), reqs...)
@@ -166,7 +176,22 @@ func (e *Engine) Run(reqs []*Request) (Metrics, error) {
 	latencies := make([]float64, 0, len(reqs))
 	tr := newTracer(e.cfg.Trace)
 
+	// Every abort path must release the leases of admitted requests: on a
+	// long-lived engine a leaked lease pins its KV blocks forever, shrinking
+	// capacity for every later batch on the same engine.
+	abort := func(err error) (Metrics, error) {
+		for _, r := range running {
+			e.cache.Release(r.lease)
+		}
+		return m, err
+	}
+
 	for finished < len(reqs) {
+		if interrupt != nil {
+			if err := interrupt(); err != nil {
+				return abort(err)
+			}
+		}
 		// Admission: a request enters when a batch slot and KV memory are
 		// available. FIFO never reorders around a blocked head; CacheAware
 		// picks the best-matching waiting request within the lookahead.
@@ -177,7 +202,7 @@ func (e *Engine) Run(reqs []*Request) (Metrics, error) {
 			}
 			r := waiting[idx]
 			if len(r.Prompt) == 0 {
-				return m, fmt.Errorf("llmsim: request %d has an empty prompt", r.ID)
+				return abort(fmt.Errorf("llmsim: request %d has an empty prompt", r.ID))
 			}
 			if r.OutTokens <= 0 {
 				r.OutTokens = 1 // every request emits at least one token
@@ -200,8 +225,8 @@ func (e *Engine) Run(reqs []*Request) (Metrics, error) {
 		}
 		if len(running) == 0 {
 			if len(waiting) > 0 {
-				return m, fmt.Errorf("llmsim: request %d cannot fit in KV memory even alone (prompt %d tokens)",
-					waiting[0].ID, len(waiting[0].Prompt))
+				return abort(fmt.Errorf("llmsim: request %d cannot fit in KV memory even alone (prompt %d tokens)",
+					waiting[0].ID, len(waiting[0].Prompt)))
 			}
 			break
 		}

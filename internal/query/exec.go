@@ -1,10 +1,13 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/llmsim"
@@ -50,6 +53,15 @@ type Config struct {
 	// eviction pressure — which drives the Cache(Original) hit rates at full
 	// scale — is preserved.
 	KVPoolBlocks int64
+	// Backend is the serving target every stage's scheduled batch runs on.
+	// Nil uses backend.Default (a fresh confined engine per batch — the
+	// paper's setting and the historical behavior). Backends only change
+	// serving cost, never results: answers are content-keyed outside the
+	// engine. The backend is deliberately NOT part of StageKey — a config
+	// is expected to keep one backend for its lifetime, and the key must
+	// agree between the runtime's batch grouping and the backend's engine
+	// affinity.
+	Backend backend.Backend
 }
 
 func (c Config) oracle() oracle.Profile {
@@ -116,9 +128,22 @@ type Result struct {
 }
 
 // RunStage executes a single LLM invocation over tbl under the configured
-// policy and returns engine metrics plus per-row model outputs.
+// policy and returns engine metrics plus per-row model outputs. It is
+// RunStageContext without cancellation.
 func RunStage(spec Spec, tbl *table.Table, cfg Config) (*StageResult, error) {
+	return RunStageContext(context.Background(), spec, tbl, cfg)
+}
+
+// RunStageContext executes a single LLM invocation over tbl under the
+// configured policy: it computes the schedule, tokenizes the requests, and
+// hands the finished batch to cfg.Backend (backend.Default when nil). ctx
+// cancels the run — before scheduling and between engine steps — returning
+// an error that wraps ctx.Err().
+func RunStageContext(ctx context.Context, spec Spec, tbl *table.Table, cfg Config) (*StageResult, error) {
 	cfg = cfg.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if tbl.NumRows() == 0 {
 		return &StageResult{Spec: spec, Rows: 0}, nil
 	}
@@ -145,14 +170,15 @@ func RunStage(spec Spec, tbl *table.Table, cfg Config) (*StageResult, error) {
 		}
 	}
 
-	eng := llmsim.New(llmsim.Config{
-		Cost:             llmsim.CostModel{Model: cfg.Model, Cluster: cfg.Cluster},
-		CacheEnabled:     cfg.Policy != NoCache,
-		MaxBatchSeqs:     cfg.MaxBatchSeqs,
-		MaxBatchTokens:   cfg.MaxBatchTokens,
-		CapacityOverride: cfg.KVPoolBlocks,
+	be := cfg.Backend
+	if be == nil {
+		be = backend.Default
+	}
+	br, err := be.RunBatch(ctx, backend.BatchSpec{
+		StageKey: StageKey(spec, tbl.Columns(), cfg),
+		Requests: reqs,
+		Engine:   engineConfig(cfg),
 	})
-	metrics, err := eng.Run(reqs)
 	if err != nil {
 		return nil, fmt.Errorf("query: engine run for %s: %w", spec.Name, err)
 	}
@@ -164,13 +190,63 @@ func RunStage(spec Spec, tbl *table.Table, cfg Config) (*StageResult, error) {
 	}
 	return &StageResult{
 		Spec:          spec,
-		Metrics:       metrics,
+		Metrics:       br.Metrics,
 		SolverSeconds: solver.Seconds(),
 		PHC:           phc,
 		Outputs:       outputs,
 		Rows:          tbl.NumRows(),
-		ModelCalls:    len(reqs),
+		ModelCalls:    br.ModelCalls,
 	}, nil
+}
+
+// engineConfig renders the execution config's engine sizing for a backend.
+func engineConfig(cfg Config) llmsim.Config {
+	return llmsim.Config{
+		Cost:             llmsim.CostModel{Model: cfg.Model, Cluster: cfg.Cluster},
+		CacheEnabled:     cfg.Policy != NoCache,
+		MaxBatchSeqs:     cfg.MaxBatchSeqs,
+		MaxBatchTokens:   cfg.MaxBatchTokens,
+		CapacityOverride: cfg.KVPoolBlocks,
+	}
+}
+
+// StageKey fingerprints a batchable stage shape: two stages with equal keys
+// ask the same question over the same schema under the same serving
+// configuration, so their rows may share one engine run, their
+// (content-keyed) answers may share cache entries, and a persistent backend
+// may serve both from one long-lived KV cache. Every component is
+// length-prefixed, making the encoding injective. The serving runtime
+// groups cross-query batches by this key and persistent backends key engine
+// affinity on it; both must agree, which is why the key lives here.
+func StageKey(spec Spec, cols []string, cfg Config) string {
+	cfg = cfg.withDefaults()
+	var sb strings.Builder
+	part := func(s string) {
+		fmt.Fprintf(&sb, "%d:%s;", len(s), s)
+	}
+	part(spec.Dataset)
+	part(string(spec.Type))
+	part(spec.UserPrompt)
+	part(spec.KeyField)
+	part(spec.TruthHidden)
+	fmt.Fprintf(&sb, "%d;", len(spec.Choices))
+	for _, c := range spec.Choices {
+		part(c)
+	}
+	fmt.Fprintf(&sb, "%d;", len(cols))
+	for _, c := range cols {
+		part(c)
+	}
+	// The serving config changes engine timing and (via the policy's field
+	// ordering) the oracle's position term, so it is part of the identity.
+	// GGR options are compared by pointer: distinct custom solvers never
+	// share a batch. Profile maps print with sorted keys, so the rendering
+	// is deterministic. The backend itself is excluded — the key selects
+	// WHICH engine state a batch may share, not WHERE it runs.
+	part(fmt.Sprintf("%s|%+v|%+v|%+v|%d|%d|%d|%p",
+		cfg.Policy, cfg.Model, cfg.Cluster, cfg.Oracle,
+		cfg.MaxBatchSeqs, cfg.MaxBatchTokens, cfg.KVPoolBlocks, cfg.GGR))
+	return sb.String()
 }
 
 // OracleAnswers returns the model outputs for every row of a schedule,
@@ -250,7 +326,13 @@ func buildSchedule(tbl *table.Table, cfg Config) (*core.Schedule, int64, time.Du
 // runs over the passing rows; for all other types the query is one stage.
 // RAG queries expect the joined (question, contexts) table — see RunRAG.
 func Run(spec Spec, tbl *table.Table, cfg Config) (*Result, error) {
-	first, err := RunStage(spec, tbl, cfg)
+	return RunContext(context.Background(), spec, tbl, cfg)
+}
+
+// RunContext is Run honoring ctx: cancellation is checked before every
+// stage and between engine steps within one.
+func RunContext(ctx context.Context, spec Spec, tbl *table.Table, cfg Config) (*Result, error) {
+	first, err := RunStageContext(ctx, spec, tbl, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +368,7 @@ func Run(spec Spec, tbl *table.Table, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		sub := tbl.FilterRows(res.Passing)
-		sr, err := RunStage(second, sub, cfg)
+		sr, err := RunStageContext(ctx, second, sub, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -311,6 +393,11 @@ func Run(spec Spec, tbl *table.Table, cfg Config) (*Result, error) {
 // RunRAG builds the retrieval-joined table for a RAG dataset and executes
 // its query.
 func RunRAG(spec Spec, d *datagen.RAG, cfg Config) (*Result, error) {
+	return RunRAGContext(context.Background(), spec, d, cfg)
+}
+
+// RunRAGContext is RunRAG honoring ctx.
+func RunRAGContext(ctx context.Context, spec Spec, d *datagen.RAG, cfg Config) (*Result, error) {
 	if spec.Type != RAGQA {
 		return nil, fmt.Errorf("query: %s is not a RAG query", spec.Name)
 	}
@@ -318,5 +405,5 @@ func RunRAG(spec Spec, d *datagen.RAG, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Run(spec, tbl, cfg)
+	return RunContext(ctx, spec, tbl, cfg)
 }

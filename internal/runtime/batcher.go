@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -151,7 +152,11 @@ func (b *batcher) run(g *group, members []*member) {
 	spec.RowKeys = func(row int) uint64 { return rowKeys[row] }
 	spec.RowOutTokens = func(row int) int { return outTok[row] }
 
-	st, err := query.RunStage(spec, combined, g.qcfg)
+	// The run is deliberately detached from any one statement's context: a
+	// coalesced batch may carry rows from several statements, and canceling
+	// one must not starve the others (a canceled member's reservations are
+	// settled by its detached resolver when this run lands — see RunStage).
+	st, err := query.RunStageContext(context.Background(), spec, combined, g.qcfg)
 	if err != nil {
 		for _, m := range members {
 			m.err = err

@@ -1,9 +1,29 @@
 package runtime
 
 import (
+	"flag"
 	"testing"
 	"time"
+
+	"repro/internal/backend"
 )
+
+// benchBackend selects the serving backend for BenchmarkMultiClientServing
+// (go test ./internal/runtime/ -bench ... -args -backend=persistent). The
+// CI bench smoke runs it once per backend; the persistent run additionally
+// asserts its hit tokens beat the per-batch-engine baseline on the same
+// sequential refresh workload.
+var benchBackend = flag.String("backend", "sim", "serving backend for the multi-client bench: sim or persistent")
+
+// benchBackendFor resolves the flag into a fresh backend and reports
+// whether the persistent comparison should run.
+func benchBackendFor(b *testing.B) (backend.Backend, bool) {
+	be, err := backend.ByName(*benchBackend)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return be, *benchBackend == "persistent"
+}
 
 // multiClientWorkload is the dashboard scenario the runtime is built for:
 // K clients refresh overlapping statements — repeats hit the result cache,
@@ -66,14 +86,22 @@ func TestConcurrentBeatsSequential(t *testing.T) {
 
 // BenchmarkMultiClientServing measures the runtime end to end on the
 // multi-client workload: submit everything, wait for all. The CI benchmark
-// smoke runs this at one iteration to catch rot. Reported custom metrics:
-// model calls and virtual serving seconds per iteration.
+// smoke runs this at one iteration to catch rot, once per -backend value.
+// Reported custom metrics: model calls, virtual serving seconds, and hit
+// tokens per iteration. Under -backend=persistent the bench also asserts
+// the cross-window prefix persistence pays: on the sequential refresh
+// workload (two batch windows, one stage fingerprint) the persistent
+// backend's cumulative hit tokens must be strictly above the sim baseline.
 func BenchmarkMultiClientServing(b *testing.B) {
+	be, persistent := benchBackendFor(b)
+	if be != nil {
+		defer be.Close()
+	}
 	stmts := multiClientWorkload()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		db := newDB(45)
-		rt := New(db, Config{Workers: 8, BatchWindow: 5 * time.Millisecond})
+		rt := New(db, Config{Workers: 8, BatchWindow: 5 * time.Millisecond, Backend: be})
 		handles := make([]*Handle, len(stmts))
 		for j, sql := range stmts {
 			handles[j] = rt.Submit(sql, Options{})
@@ -88,7 +116,22 @@ func BenchmarkMultiClientServing(b *testing.B) {
 		if i == b.N-1 {
 			b.ReportMetric(float64(m.LLMCalls), "llmcalls/op")
 			b.ReportMetric(m.TotalJCT, "jct-s/op")
+			b.ReportMetric(float64(m.MatchedTokens), "hit-tok/op")
 		}
+	}
+	if persistent {
+		b.StopTimer()
+		simBE := backend.NewSim()
+		defer simBE.Close()
+		perBE := backend.NewPersistent(0)
+		defer perBE.Close()
+		simM, _ := runRefreshes(b, simBE, 45)
+		perM, _ := runRefreshes(b, perBE, 45)
+		if perM.MatchedTokens <= simM.MatchedTokens {
+			b.Fatalf("persistent hit tokens = %d, want strictly above per-batch-engine baseline %d",
+				perM.MatchedTokens, simM.MatchedTokens)
+		}
+		b.ReportMetric(float64(perM.MatchedTokens-simM.MatchedTokens), "extra-hit-tok")
 	}
 }
 

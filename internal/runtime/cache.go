@@ -3,16 +3,12 @@ package runtime
 import "sync"
 
 // inflight is one LLM call being computed right now. The owner resolves it
-// exactly once; subscribers block on done and then read val/err.
+// exactly once; subscribers select on done (against their own context) and
+// then read val/err.
 type inflight struct {
 	done chan struct{}
 	val  string
 	err  error
-}
-
-func (f *inflight) wait() (string, error) {
-	<-f.done
-	return f.val, f.err
 }
 
 // resultCache is the exact-match LLM result cache plus the inflight table.

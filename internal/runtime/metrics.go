@@ -8,6 +8,8 @@ type counters struct {
 	statementsSubmitted atomic.Int64
 	statementsDone      atomic.Int64
 	statementsFailed    atomic.Int64
+	statementsCanceled  atomic.Int64
+	abandonedResolved   atomic.Int64
 
 	planCacheHits   atomic.Int64
 	planCacheMisses atomic.Int64
@@ -32,11 +34,19 @@ type counters struct {
 // Metrics is a point-in-time snapshot of the runtime's accounting. The
 // JSON form rides in every /v1/sql response.
 type Metrics struct {
-	// StatementsSubmitted / StatementsDone / StatementsFailed count
-	// statements through the admission queue (failed ⊆ done).
+	// StatementsSubmitted / StatementsDone / StatementsFailed /
+	// StatementsCanceled count statements through the admission queue
+	// (failed and canceled are disjoint subsets of done; canceled means the
+	// statement's context died — context.Canceled or DeadlineExceeded —
+	// rather than execution erroring).
 	StatementsSubmitted int64 `json:"statementsSubmitted"`
 	StatementsDone      int64 `json:"statementsDone"`
 	StatementsFailed    int64 `json:"statementsFailed"`
+	StatementsCanceled  int64 `json:"statementsCanceled"`
+	// AbandonedResolved counts result-cache reservations a canceled
+	// statement left behind that the detached resolver settled when its
+	// batch landed — the counter that proves cancellation leaks nothing.
+	AbandonedResolved int64 `json:"abandonedResolved"`
 
 	// PlanCacheHits / PlanCacheMisses count statement preparations served
 	// from (or inserted into) the parse+plan cache.
@@ -90,6 +100,8 @@ func (c *counters) snapshot() Metrics {
 		StatementsSubmitted: c.statementsSubmitted.Load(),
 		StatementsDone:      c.statementsDone.Load(),
 		StatementsFailed:    c.statementsFailed.Load(),
+		StatementsCanceled:  c.statementsCanceled.Load(),
+		AbandonedResolved:   c.abandonedResolved.Load(),
 		PlanCacheHits:       c.planCacheHits.Load(),
 		PlanCacheMisses:     c.planCacheMisses.Load(),
 		CacheHits:           c.cacheHits.Load(),

@@ -24,29 +24,45 @@
 //	      └─ micro-batcher   pending misses that share a stage fingerprint
 //	            │            coalesce for a batch window, then run as ONE
 //	            ▼            GGR-reordered stage over the union of rows
-//	      llmsim engine      (one engine + one kvcache per coalesced run;
-//	                          kvcache.Cache is not concurrency-safe, so it is
-//	                          confined to the run that created it)
+//	      backend.Backend    (the pluggable engine seam: Sim confines one
+//	                          engine + kvcache to each coalesced run, the
+//	                          paper's setting; Persistent keeps a long-lived
+//	                          engine per stage fingerprint so the prefix
+//	                          cache survives BETWEEN batch windows;
+//	                          Recording taps batches for tests)
 //
 // The cross-query batcher is what turns the paper's reordering from a
 // per-query optimization into a fleet-level one: rows from different
 // statements that share a prompt prefix are scheduled adjacently, so the
-// prefix cache hits across queries, not just within one.
+// prefix cache hits across queries, not just within one. With a persistent
+// backend the same effect extends across batch windows: the second
+// dashboard refresh finds the first refresh's prefixes still cached.
+//
+// Cancellation: every submission path has a Context variant. A canceled
+// statement fails fast in the admission queue, stops between LLM stages,
+// and abandons a pending batch wait — without poisoning shared state: the
+// coalesced run it joined still completes (it may carry other statements'
+// rows), and a detached resolver commits or fails the canceled statement's
+// result-cache reservations when that run lands, so concurrent subscribers
+// and later statements proceed as if nothing happened.
 //
 // Semantics: answers are content-keyed (sqlfront stages key every oracle
-// draw by row content), so caching, dedup, and batching never change what a
-// statement returns — with the same field-position caveat that
-// sqlfront.ExecConfig.Naive documents for the bundled datasets, whose
-// simulated accuracy depends on where the reordering places the key field.
-// On ad-hoc (CSV) tables, concurrent results are bit-identical to
+// draw by row content), so caching, dedup, batching, and backend choice
+// never change what a statement returns — with the same field-position
+// caveat that sqlfront.ExecConfig.Naive documents for the bundled datasets,
+// whose simulated accuracy depends on where the reordering places the key
+// field. On ad-hoc (CSV) tables, concurrent results are bit-identical to
 // sequential ones; the stress tests assert exactly that.
 package runtime
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/query"
 	"repro/internal/sqlfront"
 )
@@ -81,6 +97,11 @@ type Config struct {
 	// model, out-token defaults). Per-statement Options override Naive and
 	// Policy; StageRunner is always the runtime's own.
 	Exec sqlfront.ExecConfig
+	// Backend is the serving target every engine run goes to. Nil keeps
+	// Exec.Backend (and the package default — one confined engine per
+	// batch — when that is nil too). A persistent backend here is what
+	// lets prefix hits span batch windows; see internal/backend.
+	Backend backend.Backend
 }
 
 func (c Config) workers() int {
@@ -154,6 +175,7 @@ type Runtime struct {
 }
 
 type job struct {
+	ctx  context.Context
 	p    *sqlfront.Prepared
 	opts Options
 	h    *Handle
@@ -203,16 +225,31 @@ func (rt *Runtime) CachedResults() int { return rt.cache.len() }
 // Submit admits one statement and returns immediately with its future.
 // Admission blocks while the queue is full; a closed runtime fails fast.
 func (rt *Runtime) Submit(sql string, opts Options) *Handle {
+	return rt.SubmitContext(context.Background(), sql, opts)
+}
+
+// SubmitContext is Submit with a statement-scoped context. Canceling ctx
+// cancels the statement wherever it is: still queued (it fails fast when a
+// worker picks it up), between LLM stages, or parked in a batch window. The
+// handle then resolves with an error wrapping ctx.Err(); shared state —
+// coalesced batches, inflight dedup entries, result-cache reservations — is
+// handed over cleanly, so concurrent statements are unaffected.
+func (rt *Runtime) SubmitContext(ctx context.Context, sql string, opts Options) *Handle {
 	p, err := rt.prepared(sql)
 	if err != nil {
 		return failedHandle(err)
 	}
-	return rt.submitPrepared(p, opts)
+	return rt.submitPrepared(ctx, p, opts)
 }
 
 // Exec is Submit + Wait: run one statement to completion.
 func (rt *Runtime) Exec(sql string, opts Options) (*sqlfront.Result, error) {
 	return rt.Submit(sql, opts).Wait()
+}
+
+// ExecContext is SubmitContext + Wait.
+func (rt *Runtime) ExecContext(ctx context.Context, sql string, opts Options) (*sqlfront.Result, error) {
+	return rt.SubmitContext(ctx, sql, opts).Wait()
 }
 
 // Stmt is a prepared statement bound to the runtime: Execute skips parse,
@@ -236,11 +273,22 @@ func (rt *Runtime) Prepare(sql string) (*Stmt, error) {
 func (s *Stmt) SQL() string { return s.p.SQL() }
 
 // Submit admits the prepared statement and returns its future.
-func (s *Stmt) Submit(opts Options) *Handle { return s.rt.submitPrepared(s.p, opts) }
+func (s *Stmt) Submit(opts Options) *Handle { return s.SubmitContext(context.Background(), opts) }
+
+// SubmitContext is Submit with a statement-scoped context (see
+// Runtime.SubmitContext for the cancellation semantics).
+func (s *Stmt) SubmitContext(ctx context.Context, opts Options) *Handle {
+	return s.rt.submitPrepared(ctx, s.p, opts)
+}
 
 // Execute runs the prepared statement to completion.
 func (s *Stmt) Execute(opts Options) (*sqlfront.Result, error) {
 	return s.Submit(opts).Wait()
+}
+
+// ExecuteContext is SubmitContext + Wait.
+func (s *Stmt) ExecuteContext(ctx context.Context, opts Options) (*sqlfront.Result, error) {
+	return s.SubmitContext(ctx, opts).Wait()
 }
 
 // Close drains the admission queue, waits for in-flight statements, and
@@ -295,7 +343,7 @@ func (rt *Runtime) prepared(sql string) (*sqlfront.Prepared, error) {
 	return p, nil
 }
 
-func (rt *Runtime) submitPrepared(p *sqlfront.Prepared, opts Options) *Handle {
+func (rt *Runtime) submitPrepared(ctx context.Context, p *sqlfront.Prepared, opts Options) *Handle {
 	h := &Handle{done: make(chan struct{})}
 	rt.closeMu.RLock()
 	if rt.closed {
@@ -305,7 +353,18 @@ func (rt *Runtime) submitPrepared(p *sqlfront.Prepared, opts Options) *Handle {
 		return h
 	}
 	rt.c.statementsSubmitted.Add(1)
-	rt.queue <- &job{p: p, opts: opts, h: h}
+	select {
+	case rt.queue <- &job{ctx: ctx, p: p, opts: opts, h: h}:
+	case <-ctx.Done():
+		// Admission blocked on a full queue and the statement died waiting:
+		// fail fast instead of holding the caller (and backpressure slot)
+		// until a worker frees up. Counted as done so submitted == done
+		// still holds once the fleet drains.
+		rt.c.statementsDone.Add(1)
+		rt.c.statementsCanceled.Add(1)
+		h.err = ctx.Err()
+		close(h.done)
+	}
 	rt.closeMu.RUnlock()
 	return h
 }
@@ -319,19 +378,35 @@ func failedHandle(err error) *Handle {
 // worker executes admitted statements until the queue closes. Each statement
 // runs through sqlfront's planner with the runtime's stage executor hooked
 // in, so every LLM stage it reaches goes through the result cache, inflight
-// dedup, and the cross-query batcher.
+// dedup, and the cross-query batcher. Statements whose context died while
+// queued fail fast without touching the planner, so a cancellation storm
+// never wedges the pool.
 func (rt *Runtime) worker() {
 	defer rt.wg.Done()
 	for j := range rt.queue {
+		if err := j.ctx.Err(); err != nil {
+			rt.c.statementsDone.Add(1)
+			rt.c.statementsCanceled.Add(1)
+			j.h.err = err
+			close(j.h.done)
+			continue
+		}
 		cfg := rt.cfg.Exec
 		cfg.Naive = j.opts.Naive
 		if j.opts.Policy != "" {
 			cfg.Policy = j.opts.Policy
 		}
+		if rt.cfg.Backend != nil {
+			cfg.Backend = rt.cfg.Backend
+		}
 		cfg.StageRunner = rt.RunStage
-		res, err := j.p.Exec(cfg)
+		res, err := j.p.ExecContext(j.ctx, cfg)
 		rt.c.statementsDone.Add(1)
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			rt.c.statementsCanceled.Add(1)
+		default:
 			rt.c.statementsFailed.Add(1)
 		}
 		j.h.res, j.h.err = res, err

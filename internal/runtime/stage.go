@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,21 +15,32 @@ import (
 // the call's answer is already cached, already being computed by a
 // concurrent statement (inflight dedup), or ours to compute; owned rows go
 // through the cross-query micro-batcher. The returned StageResult matches
-// query.RunStage's contract — Outputs indexed by tbl's rows — with
+// query.RunStageContext's contract — Outputs indexed by tbl's rows — with
 // ModelCalls reporting only the rows that actually reached an engine.
+//
+// Cancellation: ctx is honored at entry, while parked in the batch window,
+// and while waiting on another statement's inflight computation. A canceled
+// owner abandons its wait but never its obligations — the coalesced run it
+// joined completes regardless (it may carry other statements' rows), and a
+// detached resolver commits or fails the owner's result-cache reservations
+// when the run lands, so subscribed statements still complete and nothing
+// stays reserved forever.
 //
 // Specs without content-derived row keys (Spec.RowKeys == nil) bypass the
 // cache and batcher: a positional row identity says nothing about the row's
 // content, so exact-match caching would be unsound. The LLM-SQL executor
 // always content-keys its stages.
-func (rt *Runtime) RunStage(spec query.Spec, tbl *table.Table, qcfg query.Config) (*query.StageResult, error) {
+func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Table, qcfg query.Config) (*query.StageResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := tbl.NumRows()
 	if n == 0 {
 		return &query.StageResult{Spec: spec, Rows: 0}, nil
 	}
 	if spec.RowKeys == nil {
 		rt.c.directStages.Add(1)
-		st, err := query.RunStage(spec, tbl, qcfg)
+		st, err := query.RunStageContext(ctx, spec, tbl, qcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -42,7 +54,7 @@ func (rt *Runtime) RunStage(spec query.Spec, tbl *table.Table, qcfg query.Config
 		return st, nil
 	}
 
-	fp := stageFingerprint(spec, tbl.Columns(), qcfg)
+	fp := query.StageKey(spec, tbl.Columns(), qcfg)
 	keys := make([]string, n)
 	vals := make(map[string]string) // resolved outputs by row key
 	subs := make(map[string]*inflight)
@@ -76,15 +88,25 @@ func (rt *Runtime) RunStage(spec query.Spec, tbl *table.Table, qcfg query.Config
 	st := &query.StageResult{Spec: spec, Rows: n, ModelCalls: len(ownedRows)}
 	if len(ownedRows) > 0 {
 		m := rt.batcher.submit(fp, spec, tbl, ownedRows, qcfg)
-		<-m.done
+		select {
+		case <-m.done:
+		case <-ctx.Done():
+			// Abandon the wait, not the reservations: the batch proceeds
+			// without us and the detached resolver settles our keys when it
+			// lands, so subscribers and later statements are not poisoned.
+			go func() {
+				<-m.done
+				rt.resolveOwned(ownedKeys, m)
+				rt.c.abandonedResolved.Add(int64(len(ownedKeys)))
+			}()
+			return nil, ctx.Err()
+		}
 		if m.err != nil {
-			for _, key := range ownedKeys {
-				rt.cache.fail(key, m.err)
-			}
+			rt.resolveOwned(ownedKeys, m)
 			return nil, m.err
 		}
+		rt.resolveOwned(ownedKeys, m)
 		for j, key := range ownedKeys {
-			rt.cache.commit(key, m.outputs[j])
 			vals[key] = m.outputs[j]
 		}
 		// Attribute the coalesced run's serving cost to this statement: it
@@ -96,11 +118,16 @@ func (rt *Runtime) RunStage(spec query.Spec, tbl *table.Table, qcfg query.Config
 		st.PHC = m.batch.PHC
 	}
 	for key, fl := range subs {
-		v, err := fl.wait()
-		if err != nil {
-			return nil, fmt.Errorf("runtime: deduplicated call failed in its owning statement: %w", err)
+		select {
+		case <-ctx.Done():
+			// A subscription carries no obligation; the owner resolves it.
+			return nil, ctx.Err()
+		case <-fl.done:
 		}
-		vals[key] = v
+		if fl.err != nil {
+			return nil, fmt.Errorf("runtime: deduplicated call failed in its owning statement: %w", fl.err)
+		}
+		vals[key] = fl.val
 	}
 
 	outputs := make([]string, n)
@@ -111,38 +138,22 @@ func (rt *Runtime) RunStage(spec query.Spec, tbl *table.Table, qcfg query.Config
 	return st, nil
 }
 
-// stageFingerprint identifies a batchable stage shape: two stages with equal
-// fingerprints ask the same question over the same schema under the same
-// serving configuration, so their rows may share one engine run and their
-// (content-keyed) answers may share cache entries. Every component is
-// length-prefixed, making the encoding injective.
-func stageFingerprint(spec query.Spec, cols []string, qcfg query.Config) string {
-	var sb strings.Builder
-	part := func(s string) {
-		fmt.Fprintf(&sb, "%d:%s;", len(s), s)
+// resolveOwned settles a member's result-cache reservations from its
+// finished batch: commit every output on success, fail every key on error
+// (failed keys stay uncached so a later statement retries). It is
+// idempotent per key — commit and fail both no-op on an already-resolved
+// entry — and is called either inline by the owning statement or by the
+// detached resolver a canceled owner leaves behind.
+func (rt *Runtime) resolveOwned(keys []string, m *member) {
+	if m.err != nil {
+		for _, key := range keys {
+			rt.cache.fail(key, m.err)
+		}
+		return
 	}
-	part(spec.Dataset)
-	part(string(spec.Type))
-	part(spec.UserPrompt)
-	part(spec.KeyField)
-	part(spec.TruthHidden)
-	fmt.Fprintf(&sb, "%d;", len(spec.Choices))
-	for _, c := range spec.Choices {
-		part(c)
+	for j, key := range keys {
+		rt.cache.commit(key, m.outputs[j])
 	}
-	fmt.Fprintf(&sb, "%d;", len(cols))
-	for _, c := range cols {
-		part(c)
-	}
-	// The serving config changes engine timing and (via the policy's field
-	// ordering) the oracle's position term, so it is part of the identity.
-	// GGR options are compared by pointer: distinct custom solvers never
-	// share a batch. Profile maps print with sorted keys, so the rendering
-	// is deterministic.
-	part(fmt.Sprintf("%s|%+v|%+v|%+v|%d|%d|%d|%p",
-		qcfg.Policy, qcfg.Model, qcfg.Cluster, qcfg.Oracle,
-		qcfg.MaxBatchSeqs, qcfg.MaxBatchTokens, qcfg.KVPoolBlocks, qcfg.GGR))
-	return sb.String()
 }
 
 // stageRowKey is the exact-match result-cache key of one row's LLM call: the

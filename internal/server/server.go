@@ -11,7 +11,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -129,8 +131,10 @@ type SimulateResponse struct {
 func New() http.Handler { return NewWithRuntime(nil) }
 
 // NewWithRuntime builds the full service mux. rt, when non-nil, serves
-// POST /v1/sql: LLM-SQL statements over the runtime's registered tables,
-// executed concurrently with cross-query batching and result caching.
+// POST /v1/sql — LLM-SQL statements over the runtime's registered tables,
+// executed concurrently with cross-query batching and result caching — and
+// GET /v1/metrics, the fleet-wide runtime accounting on its own endpoint
+// (scrapers should not have to run a statement to read it).
 func NewWithRuntime(rt *runtime.Runtime) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealth)
@@ -139,6 +143,9 @@ func NewWithRuntime(rt *runtime.Runtime) http.Handler {
 	mux.HandleFunc("/v1/simulate", handleSimulate)
 	mux.HandleFunc("/v1/sql", func(w http.ResponseWriter, r *http.Request) {
 		handleSQL(rt, w, r)
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		handleMetrics(rt, w, r)
 	})
 	return mux
 }
@@ -187,9 +194,19 @@ func handleSQL(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
 		return
 	}
-	res, err := rt.Exec(req.SQL, runtime.Options{Naive: req.Naive, Policy: query.Policy(req.Policy)})
+	// The statement is scoped to the request: a client that disconnects (or
+	// times out) cancels its statement instead of leaving it running.
+	res, err := rt.ExecContext(r.Context(), req.SQL,
+		runtime.Options{Naive: req.Naive, Policy: query.Policy(req.Policy)})
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		status := http.StatusUnprocessableEntity
+		switch {
+		case errors.Is(err, context.Canceled):
+			status = 499 // client closed request (nginx convention)
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SQLResponse{
@@ -206,6 +223,21 @@ func handleSQL(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves GET /v1/metrics: the fleet-wide runtime accounting
+// that previously only rode piggybacked on /v1/sql responses.
+func handleMetrics(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	if rt == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("no serving runtime attached; start the server with registered tables (llmqserve -csv/-dataset)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.Metrics())
 }
 
 func handleReorder(w http.ResponseWriter, r *http.Request) {
@@ -320,7 +352,7 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Name: "http-simulate", Dataset: "http", Type: query.Projection,
 		UserPrompt: req.Prompt, OutTokens: out,
 	}
-	st, err := query.RunStage(spec, t, query.Config{
+	st, err := query.RunStageContext(r.Context(), spec, t, query.Config{
 		Policy: policy, Model: llmsim.Llama3_8B, Cluster: llmsim.SingleL4,
 	})
 	if err != nil {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -276,5 +277,63 @@ func TestSQLEndpointErrors(t *testing.T) {
 	}
 	if rec := post(t, New(), "/v1/sql", SQLRequest{SQL: "SELECT a FROM t"}); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("no runtime: %d", rec.Code)
+	}
+}
+
+// TestSQLEndpointHonorsRequestContext: a request whose context is already
+// dead must not execute the statement and must report a cancellation
+// status, not a generic SQL error.
+func TestSQLEndpointHonorsRequestContext(t *testing.T) {
+	h, rt := sqlHandler(t)
+	b, err := json.Marshal(SQLRequest{
+		SQL: `SELECT ticket_id, LLM('Is this urgent?', request) AS urgent FROM tickets`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sql", bytes.NewReader(b)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Errorf("status = %d, want 499 (client closed request)", rec.Code)
+	}
+	if m := rt.Metrics(); m.StatementsCanceled != 1 {
+		t.Errorf("statements canceled = %d, want 1", m.StatementsCanceled)
+	}
+}
+
+// TestMetricsEndpoint: the fleet metrics are readable on their own GET
+// endpoint, not only piggybacked on /v1/sql responses.
+func TestMetricsEndpoint(t *testing.T) {
+	h, _ := sqlHandler(t)
+	post(t, h, "/v1/sql", SQLRequest{
+		SQL: `SELECT ticket_id, LLM('Is this urgent?', request) AS urgent FROM tickets`,
+	})
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	m := decode[runtime.Metrics](t, rec)
+	if m.StatementsDone != 1 || m.StatementsSubmitted != 1 {
+		t.Errorf("metrics = %+v, want one statement accounted", m)
+	}
+	if m.LLMCalls == 0 || m.PromptTokens == 0 {
+		t.Errorf("no serving accounting in metrics: %+v", m)
+	}
+
+	// Method and availability guards.
+	if rec := post(t, h, "/v1/metrics", struct{}{}); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/metrics: %d, want 405", rec.Code)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	rec = httptest.NewRecorder()
+	New().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("GET /v1/metrics without runtime: %d, want 503", rec.Code)
 	}
 }

@@ -1,6 +1,7 @@
 package sqlfront
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -85,11 +86,13 @@ type ExecConfig struct {
 	// there, exactly as a position-sensitive real model would.
 	Naive bool
 	// StageRunner, when non-nil, executes every LLM stage in place of
-	// query.RunStage. The concurrent serving runtime (internal/runtime)
-	// injects its cross-query batching and result-caching executor here; the
-	// hook must return outputs indexed by the stage table's rows, exactly as
-	// query.RunStage does.
-	StageRunner func(spec query.Spec, tbl *table.Table, cfg query.Config) (*query.StageResult, error)
+	// query.RunStageContext. The concurrent serving runtime
+	// (internal/runtime) injects its cross-query batching and
+	// result-caching executor here; the hook must honor ctx and return
+	// outputs indexed by the stage table's rows, exactly as
+	// query.RunStageContext does. The serving backend itself is selected by
+	// the embedded query.Config.Backend — StageRunner sits above that seam.
+	StageRunner func(ctx context.Context, spec query.Spec, tbl *table.Table, cfg query.Config) (*query.StageResult, error)
 }
 
 func (c ExecConfig) filterOut() int {
@@ -134,12 +137,20 @@ type Result struct {
 // of every LLM stage, runs each distinct LLM call once, and cascades
 // cost-ordered LLM filters so expensive stages see only rows the cheap ones
 // kept (see Plan); cfg.Naive reverts to the unoptimized plan for comparison.
+// Exec is ExecContext without cancellation.
 func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
+	return db.ExecContext(context.Background(), src, cfg)
+}
+
+// ExecContext is Exec honoring ctx: cancellation is checked before every
+// LLM stage (and between engine steps within one), and a canceled statement
+// returns an error wrapping ctx.Err().
+func (db *DB) ExecContext(ctx context.Context, src string, cfg ExecConfig) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecParsed(q, cfg)
+	return db.ExecParsedContext(ctx, q, cfg)
 }
 
 // ExecParsed is Exec for an already-parsed statement (callers that inspect
@@ -148,11 +159,16 @@ func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
 // requires a fresh Parse (or a Prepared statement, which keeps the bound
 // form and both plans for repeated execution).
 func (db *DB) ExecParsed(q *Query, cfg ExecConfig) (*Result, error) {
+	return db.ExecParsedContext(context.Background(), q, cfg)
+}
+
+// ExecParsedContext is ExecParsed honoring ctx.
+func (db *DB) ExecParsedContext(ctx context.Context, q *Query, cfg ExecConfig) (*Result, error) {
 	st, err := db.prepareParsed(q)
 	if err != nil {
 		return nil, err
 	}
-	return db.execPlan(st, cfg)
+	return db.execPlan(ctx, st, cfg)
 }
 
 // preparedState is a statement after parsing, binding, validation, and
@@ -194,8 +210,11 @@ func (db *DB) prepareParsed(q *Query) (*preparedState, error) {
 }
 
 // execPlan runs a prepared statement. It never mutates st, so concurrent
-// executions of the same prepared statement are safe.
-func (db *DB) execPlan(st *preparedState, cfg ExecConfig) (*Result, error) {
+// executions of the same prepared statement are safe. ctx is checked before
+// every LLM stage and passed through to the stage runner, so a canceled
+// statement stops between stages (mid-cascade, the remaining costlier
+// stages never run) and mid-batch inside one.
+func (db *DB) execPlan(ctx context.Context, st *preparedState, cfg ExecConfig) (*Result, error) {
 	q, sc, joins := st.q, st.sc, st.joins
 	pl := st.planned
 	if cfg.Naive {
@@ -205,11 +224,14 @@ func (db *DB) execPlan(st *preparedState, cfg ExecConfig) (*Result, error) {
 	res := &Result{}
 	var promptTok, matchedTok int64
 	runStage := func(spec query.Spec, tbl *table.Table) (*query.StageResult, error) {
-		run := query.RunStage
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		run := query.RunStageContext
 		if cfg.StageRunner != nil {
 			run = cfg.StageRunner
 		}
-		st, err := run(spec, tbl, cfg.Config)
+		st, err := run(ctx, spec, tbl, cfg.Config)
 		if err != nil {
 			return nil, err
 		}

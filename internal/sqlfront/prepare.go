@@ -1,6 +1,9 @@
 package sqlfront
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Prepared is a reusable statement handle: the SQL is parsed, bound,
 // validated, and planned once (both the optimized and the naive plan), and
@@ -41,8 +44,15 @@ func (p *Prepared) SQL() string { return p.src }
 // instead of the optimized one; both were built at Prepare time, so the
 // toggle costs nothing. When the registry changed since preparation the
 // statement is re-prepared first (a changed FROM table may have a new
-// schema, making the cached binding invalid).
+// schema, making the cached binding invalid). Exec is ExecContext without
+// cancellation.
 func (p *Prepared) Exec(cfg ExecConfig) (*Result, error) {
+	return p.ExecContext(context.Background(), cfg)
+}
+
+// ExecContext is Exec honoring ctx: cancellation is checked before every
+// LLM stage and between engine steps within one.
+func (p *Prepared) ExecContext(ctx context.Context, cfg ExecConfig) (*Result, error) {
 	p.mu.Lock()
 	st := p.st
 	if st.version != p.db.Version() {
@@ -59,7 +69,7 @@ func (p *Prepared) Exec(cfg ExecConfig) (*Result, error) {
 		p.st = st
 	}
 	p.mu.Unlock()
-	return p.db.execPlan(st, cfg)
+	return p.db.execPlan(ctx, st, cfg)
 }
 
 // Query exposes the bound AST (canonical column names, expanded stars) for

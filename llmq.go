@@ -19,11 +19,26 @@
 // benchmark (RunQuery), the synthetic datasets (Dataset/RAGDataset), the
 // vLLM-style serving simulator, API cost models (EstimateSavings), and every
 // table/figure runner (RunExperiment).
+//
+// Execution is pluggable behind the Backend seam (a database/sql-driver-
+// style interface): every layer — direct stages, LLM-SQL, prepared
+// statements, the concurrent runtime, and the HTTP service — hands its
+// scheduled batches to a Backend instead of constructing engines inline.
+// NewSimBackend reproduces the paper's one-engine-per-batch setting (the
+// default), NewPersistentBackend keeps long-lived engines whose KV cache
+// survives between batches so prefix hits span batch windows, and
+// NewRecordingBackend taps batches for tests and metrics. Every execution
+// entry point has a Context variant (ExecSQLContext, RunQueryContext,
+// Runtime.SubmitContext/ExecContext, ...): canceling the context stops the
+// statement between LLM stages and mid-batch, returning an error wrapping
+// context.Canceled.
 package llmq
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -173,6 +188,12 @@ func RunQuery(spec QuerySpec, t *Table, cfg QueryConfig) (*QueryResult, error) {
 	return query.Run(spec, t, cfg)
 }
 
+// RunQueryContext is RunQuery honoring ctx: cancellation is checked before
+// every stage and between engine steps within one.
+func RunQueryContext(ctx context.Context, spec QuerySpec, t *Table, cfg QueryConfig) (*QueryResult, error) {
+	return query.RunContext(ctx, spec, t, cfg)
+}
+
 // --- datasets ----------------------------------------------------------------
 
 // Dataset generates one of the paper's five relational datasets ("Movies",
@@ -258,6 +279,13 @@ func NewSQLDB() *SQLDB { return sqlfront.NewDB() }
 // cascades multiple LLM filters cheapest-first; set SQLConfig.Naive to true
 // to bypass the optimizations and measure their benefit.
 func ExecSQL(sql string, tableName string, t *Table, cfg SQLConfig) (*SQLResult, error) {
+	return ExecSQLContext(context.Background(), sql, tableName, t, cfg)
+}
+
+// ExecSQLContext is ExecSQL honoring ctx: cancellation is checked before
+// every LLM stage and between engine steps within one, returning an error
+// wrapping ctx.Err().
+func ExecSQLContext(ctx context.Context, sql string, tableName string, t *Table, cfg SQLConfig) (*SQLResult, error) {
 	q, err := sqlfront.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -267,8 +295,50 @@ func ExecSQL(sql string, tableName string, t *Table, cfg SQLConfig) (*SQLResult,
 	}
 	db := NewSQLDB()
 	db.Register(tableName, t)
-	return db.ExecParsed(q, cfg)
+	return db.ExecParsedContext(ctx, q, cfg)
 }
+
+// --- engine backends -----------------------------------------------------------
+
+// Backend is the pluggable execution boundary between every query layer and
+// an LLM serving engine, in the style of a database/sql driver: the layers
+// above decide what to serve (rows, order, per-row output budgets, as a
+// BatchSpec) and the backend decides where and how. Backends change serving
+// cost only — answers are content-keyed above the seam, so result relations
+// are byte-identical across backends. Set one on QueryConfig.Backend (LLM-
+// SQL inherits it through SQLConfig) or RuntimeConfig.Backend; nil means a
+// fresh confined engine per batch, the paper's setting.
+type (
+	Backend     = backend.Backend
+	BatchSpec   = backend.BatchSpec
+	BatchResult = backend.BatchResult
+	// SimBackend is the per-batch engine; PersistentBackend keeps a
+	// long-lived engine per stage fingerprint so the prefix cache survives
+	// between batches; RecordingBackend decorates another backend with a
+	// batch log for tests and metrics.
+	SimBackend        = backend.Sim
+	PersistentBackend = backend.Persistent
+	RecordingBackend  = backend.Recording
+	RecordedBatch     = backend.RecordedBatch
+)
+
+// NewSimBackend returns the default per-batch backend: one confined engine
+// and KV cache per scheduled batch, exactly the paper's evaluation setting.
+func NewSimBackend() *SimBackend { return backend.NewSim() }
+
+// NewPersistentBackend returns a backend that serves each stage fingerprint
+// on a long-lived engine whose KV cache survives between batches, so prefix
+// hits span batch windows and statements. It retains at most engineBudget
+// engines, evicted LRU (<= 0 uses the default budget). Close it to release
+// the engines.
+func NewPersistentBackend(engineBudget int) *PersistentBackend {
+	return backend.NewPersistent(engineBudget)
+}
+
+// NewRecordingBackend decorates inner (nil wraps a fresh sim backend) with
+// a log of every batch served — stage key, rows, output budgets, engine
+// metrics — for tests and metrics pipelines.
+func NewRecordingBackend(inner Backend) *RecordingBackend { return backend.NewRecording(inner) }
 
 // --- serving runtime -----------------------------------------------------------
 
@@ -305,4 +375,10 @@ func Experiments() []string { return bench.Experiments() }
 // RunExperiment regenerates one of the paper's tables or figures.
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentReport, error) {
 	return bench.Run(id, cfg)
+}
+
+// RunExperimentContext is RunExperiment honoring ctx: a canceled context
+// stops the experiment at its next simulated query.
+func RunExperimentContext(ctx context.Context, id string, cfg ExperimentConfig) (*ExperimentReport, error) {
+	return bench.RunContext(ctx, id, cfg)
 }

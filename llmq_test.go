@@ -1,6 +1,8 @@
 package llmq
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -243,5 +245,47 @@ func TestAdviseFacade(t *testing.T) {
 	flat.MustAppendRow("y2")
 	if Advise(flat, 0).Reorder {
 		t.Error("advisor recommended a repetition-free table")
+	}
+}
+
+// TestBackendFacade covers the public Backend seam: a recording backend
+// observes the batches a statement serves, results are identical to the
+// default per-batch engine, and a canceled context stops execution with
+// context.Canceled.
+func TestBackendFacade(t *testing.T) {
+	tb := NewTable("ticket", "request")
+	for i := 0; i < 9; i++ {
+		tb.MustAppendRow(fmt.Sprintf("T-%d", i), fmt.Sprintf("please fix defect %d", i%4))
+	}
+	sql := `SELECT ticket, LLM('Is this urgent?', request) AS urgent FROM tickets`
+
+	base, err := ExecSQL(sql, "tickets", tb, SQLConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := NewRecordingBackend(NewPersistentBackend(2))
+	defer rec.Close()
+	cfg := SQLConfig{}
+	cfg.Backend = rec
+	res, err := ExecSQL(sql, "tickets", tb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res.Rows) != fmt.Sprint(base.Rows) {
+		t.Errorf("backend changed results:\nwant %v\ngot  %v", base.Rows, res.Rows)
+	}
+	batches := rec.Batches()
+	if len(batches) != 1 {
+		t.Fatalf("recorded %d batches, want 1", len(batches))
+	}
+	if batches[0].Rows != res.LLMCalls {
+		t.Errorf("recorded rows = %d, statement reported %d calls", batches[0].Rows, res.LLMCalls)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecSQLContext(ctx, sql, "tickets", tb, SQLConfig{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ExecSQLContext returned %v, want context.Canceled", err)
 	}
 }
