@@ -27,9 +27,14 @@
 //
 // -backend selects the serving target behind the whole stack (the
 // llmq.Backend seam): "sim" builds one confined engine per batch (the
-// paper's setting); "persistent" keeps a long-lived engine per stage
-// fingerprint so the prefix cache survives between batch windows — repeated
-// dashboard refreshes hit prefixes cached by earlier refreshes.
+// paper's setting); "persistent" keeps a pool of long-lived engine replicas
+// per stage fingerprint so the prefix cache survives between batch windows —
+// repeated dashboard refreshes hit prefixes cached by earlier refreshes —
+// and concurrent windows on one hot stage overlap on separate replicas.
+// -shards N (or the sharded-sim/sharded-persistent names) adds data-parallel
+// execution: each coalesced batch is split at its prefix-group boundaries
+// and fanned out over N concurrent engine runs, cutting batch latency while
+// keeping relations byte-identical.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
 // connections, drains in-flight requests for up to -drain, then closes the
@@ -82,12 +87,13 @@ func main() {
 		workers     = flag.Int("workers", 4, "concurrent statement executors")
 		window      = flag.Duration("batch-window", 2*time.Millisecond, "cross-query batch coalescing window")
 		cache       = flag.Int("cache", 65536, "result cache capacity in entries (negative disables)")
-		backendName = flag.String("backend", "sim", "serving backend: sim (one engine per batch) or persistent (long-lived engine per stage, prefix cache survives between batches)")
+		backendName = flag.String("backend", "sim", "serving backend: sim (one engine per batch), persistent (long-lived engine replicas per stage, prefix cache survives between batches), or sharded-sim/sharded-persistent (data-parallel fan-out)")
+		shards      = flag.Int("shards", 1, "data-parallel shards per batch: >1 wraps -backend in a sharded fan-out (sharded-* backends default to 4)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
-	be, err := backend.ByName(*backendName)
+	be, err := backend.ByNameShards(*backendName, *shards)
 	if err != nil {
 		fatal(err)
 	}

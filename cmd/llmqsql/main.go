@@ -26,9 +26,12 @@
 //
 // The -policy flag switches scheduling (no-cache / cache-original /
 // cache-ggr) without changing results; -backend picks the serving target
-// ("sim" = one engine per stage batch, "persistent" = long-lived engines
-// whose prefix cache survives between this statement's stages that share a
-// prompt). Neither changes results; serving statistics print on stderr.
+// ("sim" = one engine per stage batch, "persistent" = long-lived engine
+// replicas whose prefix cache survives between this statement's stages that
+// share a prompt, "sharded-sim"/"sharded-persistent" = the same behind a
+// data-parallel fan-out) and -shards N composes a fan-out of N engine
+// replicas with any of them. None of these change results; serving
+// statistics print on stderr.
 package main
 
 import (
@@ -64,7 +67,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "dataset seed")
 		policy  = flag.String("policy", "cache-ggr", "no-cache, cache-original, or cache-ggr")
 		naive   = flag.Bool("naive", false, "disable the logical planner (no pushdown, dedup, or cost-ordered filters)")
-		beName  = flag.String("backend", "sim", "serving backend: sim or persistent")
+		beName  = flag.String("backend", "sim", "serving backend: sim, persistent, sharded-sim, or sharded-persistent")
+		shards  = flag.Int("shards", 1, "data-parallel shards per batch: >1 wraps -backend in a sharded fan-out (sharded-* backends default to 4)")
 		maxRows = flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	)
 	flag.Parse()
@@ -118,7 +122,7 @@ func main() {
 		register(name, t)
 	}
 
-	be, err := backend.ByName(*beName)
+	be, err := backend.ByNameShards(*beName, *shards)
 	if err != nil {
 		fatal(err)
 	}

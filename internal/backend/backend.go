@@ -5,15 +5,19 @@
 // The layers above (internal/query, internal/sqlfront, internal/runtime)
 // decide WHAT to serve — which rows, in which order, with which per-row
 // output budgets — and hand the finished schedule to a Backend as one
-// BatchSpec. The Backend decides WHERE and HOW it is served. Three
+// BatchSpec. The Backend decides WHERE and HOW it is served. Four
 // implementations ship:
 //
 //   - Sim: one confined engine + KV cache per batch (the paper's setting,
 //     and the previous hardwired behavior).
-//   - Persistent: a long-lived engine per stage fingerprint whose KV cache
-//     survives between batches, so prefix hits span batch windows — the
-//     cross-statement KV-cache persistence the single-run design could not
-//     express.
+//   - Persistent: a pool of long-lived engine replicas per stage
+//     fingerprint whose KV caches survive between batches, so prefix hits
+//     span batch windows — the cross-statement KV-cache persistence the
+//     single-run design could not express — while concurrent batches on one
+//     hot stage overlap on separate replicas.
+//   - Sharded: a data-parallel decorator that splits one batch at its
+//     prefix-group boundaries (BatchSpec.Groups) and fans the shards out to
+//     concurrent runs on the wrapped backend.
 //   - Recording: a decorator that logs every batch for tests and metrics.
 //
 // Because the simulated oracle answers outside the engine (answers are
@@ -28,6 +32,7 @@ package backend
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/llmsim"
 )
@@ -47,6 +52,14 @@ type BatchSpec struct {
 	// order IS the serving order; preserving it is the contract the offline
 	// reordering relies on.
 	Requests []*llmsim.Request
+	// Groups lists the start indices of the schedule's top-level
+	// prefix-sharing groups within Requests (ascending, first element 0 —
+	// see core.GroupStarts). Adjacent requests in different groups share no
+	// prompt prefix beyond what any two requests share, so a data-parallel
+	// backend may cut the batch at these boundaries with no intra-shard
+	// prefix-hit loss. Empty means the scheduler did not annotate the batch;
+	// sharding backends then serve it unsplit.
+	Groups []int
 	// Engine sizes the serving engine (cost model, batch limits, cache
 	// toggle) for this batch.
 	Engine llmsim.Config
@@ -79,16 +92,40 @@ type Backend interface {
 // ByName builds a backend from its flag/config name — the single resolver
 // behind every -backend flag, so the tools and benches cannot drift apart:
 // "sim" is the per-batch engine, "persistent" a NewPersistent with the
-// default engine budget.
+// default engine budget, and "sharded-sim"/"sharded-persistent" wrap those
+// in a Sharded decorator with DefaultShards shards.
 func ByName(name string) (Backend, error) {
-	switch name {
-	case "sim":
-		return NewSim(), nil
-	case "persistent":
-		return NewPersistent(0), nil
-	default:
-		return nil, fmt.Errorf("backend: unknown backend %q: want sim or persistent", name)
+	return ByNameShards(name, 1)
+}
+
+// ByNameShards is ByName composed with a shard count: shards > 1 wraps the
+// named backend in NewSharded (the -shards flag on llmqserve/llmqsql), and
+// the "sharded-*" names imply DefaultShards when shards is 1. shards < 1 is
+// an error.
+func ByNameShards(name string, shards int) (Backend, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("backend: shards must be >= 1, got %d", shards)
 	}
+	base := name
+	if inner, ok := strings.CutPrefix(name, "sharded-"); ok {
+		base = inner
+		if shards == 1 {
+			shards = DefaultShards
+		}
+	}
+	var be Backend
+	switch base {
+	case "sim":
+		be = NewSim()
+	case "persistent":
+		be = NewPersistent(0)
+	default:
+		return nil, fmt.Errorf("backend: unknown backend %q: want sim, persistent, sharded-sim, or sharded-persistent", name)
+	}
+	if shards > 1 {
+		return NewSharded(be, shards)
+	}
+	return be, nil
 }
 
 // interruptFor adapts a context to the engine's per-step cancellation hook.

@@ -41,12 +41,23 @@ var conformanceStatements = []string{
 }
 
 // backends lists every shipped Backend under test, each built fresh per
-// subtest so persistent state never leaks between cases.
+// subtest so persistent state never leaks between cases. The sharded
+// decorators run over both engine-owning backends so the data-parallel path
+// is held to the same result-identity bar.
 func backends() map[string]func() backend.Backend {
+	mustShard := func(inner backend.Backend) backend.Backend {
+		s, err := backend.NewSharded(inner, 3)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
 	return map[string]func() backend.Backend{
-		"sim":        func() backend.Backend { return backend.NewSim() },
-		"persistent": func() backend.Backend { return backend.NewPersistent(0) },
-		"recording":  func() backend.Backend { return backend.NewRecording(nil) },
+		"sim":                func() backend.Backend { return backend.NewSim() },
+		"persistent":         func() backend.Backend { return backend.NewPersistent(0) },
+		"recording":          func() backend.Backend { return backend.NewRecording(nil) },
+		"sharded-sim":        func() backend.Backend { return mustShard(backend.NewSim()) },
+		"sharded-persistent": func() backend.Backend { return mustShard(backend.NewPersistent(0)) },
 	}
 }
 

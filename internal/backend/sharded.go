@@ -1,0 +1,246 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/llmsim"
+)
+
+// DefaultShards is the shard count the "sharded-*" backend names use when no
+// explicit -shards value composes with them.
+const DefaultShards = 4
+
+// Sharded is the data-parallel decorator: it splits one scheduled batch into
+// up to N prefix-coherent sub-batches and fans them out to concurrent
+// RunBatch calls on the wrapped backend, so a single hot stage can use N
+// engine replicas instead of one sequential run.
+//
+// The split follows BatchSpec.Groups, the top-level prefix-sharing group
+// boundaries the scheduler annotated (core.GroupStarts): a group's rows
+// share prompt prefixes with each other but not with the next group, so
+// cutting only at group boundaries preserves every intra-shard prefix hit —
+// the same insight behind cache-aware data-parallel serving in vLLM and
+// SGLang, applied to the paper's offline GGR schedules. What sharding does
+// forfeit is the shared fixed prompt prefix: each sub-batch's engine warms
+// it independently, a per-shard cost that is constant in the batch size.
+// Groups are balanced across shards by request-token weight (core.PackGroups
+// greedy), and a batch without group annotations, with a single group, or
+// smaller than two requests passes through unsplit.
+//
+// Results merge by construction: answers are content-keyed outside the
+// engine, so sharded relations are byte-identical to unsharded ones; merged
+// Metrics report the parallel JCT (max over shards), summed token and step
+// counts, request-weighted mean latency, and worst-shard tail percentiles.
+//
+// Composing with Persistent is the intended production shape: sub-batches
+// share the batch's StageKey, so they land on the same stage's replica pool
+// and overlap on separate replicas (see Persistent).
+type Sharded struct {
+	inner  Backend
+	shards int
+
+	shardedBatches atomic.Int64
+	shardRuns      atomic.Int64
+	shardJCTMicros atomic.Int64
+}
+
+var _ Backend = (*Sharded)(nil)
+
+// NewSharded wraps inner (nil wraps a fresh Sim) with a data-parallel fan-out
+// of up to shards concurrent engine runs per batch. shards < 1 is an error;
+// shards == 1 is a valid passthrough.
+func NewSharded(inner Backend, shards int) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("backend: sharded backend needs shards >= 1, got %d", shards)
+	}
+	if inner == nil {
+		inner = NewSim()
+	}
+	return &Sharded{inner: inner, shards: shards}, nil
+}
+
+// Shards reports the configured fan-out width.
+func (s *Sharded) Shards() int { return s.shards }
+
+// ShardStats is the decorator's accounting, merged into runtime.Metrics.
+type ShardStats struct {
+	// ShardedBatches counts batches actually split (>= 2 sub-batches);
+	// ShardRuns the sub-batches dispatched to the inner backend.
+	ShardedBatches int64
+	ShardRuns      int64
+	// ShardJCTSeconds sums per-shard virtual JCT; divided by ShardRuns it is
+	// the mean per-shard latency. Compare with the merged (max-over-shards)
+	// JCT the batches reported to see the parallel speedup.
+	ShardJCTSeconds float64
+}
+
+// Stats snapshots the sharding counters.
+func (s *Sharded) Stats() ShardStats {
+	return ShardStats{
+		ShardedBatches:  s.shardedBatches.Load(),
+		ShardRuns:       s.shardRuns.Load(),
+		ShardJCTSeconds: float64(s.shardJCTMicros.Load()) / 1e6,
+	}
+}
+
+// RunBatch partitions the batch along its group boundaries and serves the
+// shards concurrently on the inner backend. The first shard error cancels
+// the rest and is returned; ctx cancellation propagates to every shard.
+func (s *Sharded) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return BatchResult{}, err
+	}
+	if s.shards == 1 || len(spec.Groups) <= 1 || len(spec.Requests) < 2 {
+		return s.inner.RunBatch(ctx, spec)
+	}
+	if err := validGroups(spec.Groups, len(spec.Requests)); err != nil {
+		return BatchResult{}, err
+	}
+
+	bins := core.PackGroups(groupWeights(spec), s.shards)
+	if len(bins) <= 1 {
+		return s.inner.RunBatch(ctx, spec)
+	}
+	subs := make([][]*llmsim.Request, len(bins))
+	for b, groups := range bins {
+		var reqs []*llmsim.Request
+		for _, g := range groups {
+			start, end := groupBounds(spec, g)
+			reqs = append(reqs, spec.Requests[start:end]...)
+		}
+		subs[b] = reqs
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]BatchResult, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for b, reqs := range subs {
+		wg.Add(1)
+		go func(b int, reqs []*llmsim.Request) {
+			defer wg.Done()
+			results[b], errs[b] = s.inner.RunBatch(runCtx, BatchSpec{
+				StageKey: spec.StageKey,
+				Requests: reqs,
+				Engine:   spec.Engine,
+			})
+			if errs[b] != nil {
+				cancel() // fail fast: peers stop between engine steps
+			}
+		}(b, reqs)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// A failing shard cancels its peers, so the peers report
+		// context.Canceled even though they did not cause the failure.
+		// Surface the root cause: the first error that is NOT a
+		// cancellation wins; plain ctx.Err()/Canceled only survives when
+		// every failure is one (i.e. the caller's own cancellation).
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(firstErr, ctxErr) {
+			return BatchResult{}, ctxErr
+		}
+		return BatchResult{}, firstErr
+	}
+
+	s.shardedBatches.Add(1)
+	s.shardRuns.Add(int64(len(subs)))
+	merged := BatchResult{}
+	var latWeighted float64
+	for b, r := range results {
+		s.shardJCTMicros.Add(int64(r.Metrics.JCT * 1e6))
+		merged.ModelCalls += r.ModelCalls
+		m := &merged.Metrics
+		sm := r.Metrics
+		if sm.JCT > m.JCT {
+			m.JCT = sm.JCT // shards run in parallel: batch JCT is the slowest shard
+		}
+		m.Steps += sm.Steps
+		m.PromptTokens += sm.PromptTokens
+		m.MatchedTokens += sm.MatchedTokens
+		m.PrefilledTokens += sm.PrefilledTokens
+		m.DecodeTokens += sm.DecodeTokens
+		latWeighted += sm.MeanLatency * float64(len(subs[b]))
+		if sm.P50Latency > m.P50Latency {
+			m.P50Latency = sm.P50Latency
+		}
+		if sm.P95Latency > m.P95Latency {
+			m.P95Latency = sm.P95Latency
+		}
+		if sm.P99Latency > m.P99Latency {
+			m.P99Latency = sm.P99Latency
+		}
+		if sm.MaxRunning > m.MaxRunning {
+			m.MaxRunning = sm.MaxRunning
+		}
+		m.Cache.MatchedTokens += sm.Cache.MatchedTokens
+		m.Cache.PromptTokens += sm.Cache.PromptTokens
+		m.Cache.InsertedBlocks += sm.Cache.InsertedBlocks
+		m.Cache.EvictedBlocks += sm.Cache.EvictedBlocks
+		m.Cache.Rejections += sm.Cache.Rejections
+	}
+	if len(spec.Requests) > 0 {
+		merged.Metrics.MeanLatency = latWeighted / float64(len(spec.Requests))
+	}
+	return merged, nil
+}
+
+// Close closes the wrapped backend.
+func (s *Sharded) Close() error { return s.inner.Close() }
+
+// groupWeights is each group's request weight: prompt tokens plus output
+// budget, the units the engine's step budget is spent in.
+func groupWeights(spec BatchSpec) []int64 {
+	weights := make([]int64, len(spec.Groups))
+	for g := range spec.Groups {
+		start, end := groupBounds(spec, g)
+		for _, r := range spec.Requests[start:end] {
+			weights[g] += int64(len(r.Prompt) + r.OutTokens)
+		}
+	}
+	return weights
+}
+
+// groupBounds returns the request index range [start, end) of group g.
+func groupBounds(spec BatchSpec, g int) (int, int) {
+	start := spec.Groups[g]
+	end := len(spec.Requests)
+	if g+1 < len(spec.Groups) {
+		end = spec.Groups[g+1]
+	}
+	return start, end
+}
+
+// validGroups checks the group annotation is a plausible boundary list:
+// strictly ascending, starting at 0, within range.
+func validGroups(groups []int, n int) error {
+	for i, g := range groups {
+		switch {
+		case i == 0 && g != 0:
+			return fmt.Errorf("backend: batch group annotation starts at %d, want 0", g)
+		case i > 0 && g <= groups[i-1]:
+			return fmt.Errorf("backend: batch group annotation not ascending at index %d", i)
+		case g >= n:
+			return fmt.Errorf("backend: batch group start %d out of range (batch has %d requests)", g, n)
+		}
+	}
+	return nil
+}

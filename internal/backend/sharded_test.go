@@ -1,0 +1,212 @@
+package backend_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/query"
+	"repro/internal/sqlfront"
+)
+
+// TestShardedSplitsHotBatch drives one statement through a Sharded decorator
+// over a Recording tap and asserts the batch actually fanned out: several
+// sub-batches, whose rows sum to the statement's model calls, all under one
+// stage key, with the decorator's counters agreeing.
+func TestShardedSplitsHotBatch(t *testing.T) {
+	rec := backend.NewRecording(nil)
+	sh, err := backend.NewSharded(rec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	res := execWith(t, sh, conformanceStatements[0], false)
+	batches := rec.Batches()
+	if len(batches) < 2 {
+		t.Fatalf("sharded run recorded %d sub-batches, want >= 2 (no fan-out happened)", len(batches))
+	}
+	rows := 0
+	keys := map[string]bool{}
+	for _, b := range batches {
+		rows += b.Rows
+		keys[b.StageKey] = true
+	}
+	if rows != res.LLMCalls {
+		t.Errorf("sub-batch rows sum to %d, statement reported %d model calls", rows, res.LLMCalls)
+	}
+	if len(keys) != 1 {
+		t.Errorf("sub-batches spread over %d stage keys, want 1 (shards share the stage)", len(keys))
+	}
+	st := sh.Stats()
+	if st.ShardedBatches == 0 || st.ShardRuns != int64(len(batches)) {
+		t.Errorf("ShardStats = %+v, recording saw %d sub-batches", st, len(batches))
+	}
+	if st.ShardJCTSeconds <= 0 {
+		t.Error("no per-shard JCT accounted")
+	}
+}
+
+// TestShardedPassthrough pins the unsplit paths: one shard, or a batch
+// without group annotations, runs exactly one inner batch.
+func TestShardedPassthrough(t *testing.T) {
+	rec := backend.NewRecording(nil)
+	sh, err := backend.NewSharded(rec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	execWith(t, sh, conformanceStatements[0], false)
+	if n := len(rec.Batches()); n != 1 {
+		t.Fatalf("shards=1 recorded %d batches, want 1 (passthrough)", n)
+	}
+	if st := sh.Stats(); st.ShardedBatches != 0 || st.ShardRuns != 0 {
+		t.Errorf("passthrough counted as sharded: %+v", st)
+	}
+}
+
+// TestNewShardedRejectsBadCount pins the shards >= 1 contract.
+func TestNewShardedRejectsBadCount(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := backend.NewSharded(backend.NewSim(), n); err == nil {
+			t.Errorf("NewSharded(_, %d) succeeded, want error", n)
+		}
+	}
+}
+
+// TestByNameShards pins the flag resolver: plain names, sharded-* names with
+// their default fan-out, -shards composition, and the error cases.
+func TestByNameShards(t *testing.T) {
+	cases := []struct {
+		name   string
+		shards int
+		want   string // "" = error expected
+		width  int    // expected Shards() when the result is *Sharded
+	}{
+		{"sim", 1, "*backend.Sim", 0},
+		{"persistent", 1, "*backend.Persistent", 0},
+		{"sim", 4, "*backend.Sharded", 4},
+		{"persistent", 2, "*backend.Sharded", 2},
+		{"sharded-sim", 1, "*backend.Sharded", backend.DefaultShards},
+		{"sharded-persistent", 1, "*backend.Sharded", backend.DefaultShards},
+		{"sharded-sim", 8, "*backend.Sharded", 8},
+		{"sim", 0, "", 0},
+		{"sim", -3, "", 0},
+		{"sharded-bogus", 1, "", 0},
+		{"bogus", 1, "", 0},
+	}
+	for _, tc := range cases {
+		be, err := backend.ByNameShards(tc.name, tc.shards)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("ByNameShards(%q, %d) succeeded, want error", tc.name, tc.shards)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ByNameShards(%q, %d): %v", tc.name, tc.shards, err)
+			continue
+		}
+		if got := fmt.Sprintf("%T", be); got != tc.want {
+			t.Errorf("ByNameShards(%q, %d) = %s, want %s", tc.name, tc.shards, got, tc.want)
+		}
+		if sh, ok := be.(*backend.Sharded); ok && sh.Shards() != tc.width {
+			t.Errorf("ByNameShards(%q, %d) fan-out = %d, want %d", tc.name, tc.shards, sh.Shards(), tc.width)
+		}
+		be.Close()
+	}
+	if _, err := backend.ByName("nope"); err == nil || !strings.Contains(err.Error(), "sharded-sim") {
+		t.Errorf("ByName error should list the sharded names, got: %v", err)
+	}
+}
+
+// failNthBackend fails its nth RunBatch with a distinctive error and
+// delegates the rest, so exactly one shard of a fan-out dies for a real
+// (non-cancellation) reason.
+type failNthBackend struct {
+	inner backend.Backend
+	n     int32
+	calls atomic.Int32
+}
+
+var errShardBoom = errors.New("shard backend exploded")
+
+func (f *failNthBackend) RunBatch(ctx context.Context, spec backend.BatchSpec) (backend.BatchResult, error) {
+	if f.calls.Add(1) == f.n {
+		return backend.BatchResult{}, errShardBoom
+	}
+	return f.inner.RunBatch(ctx, spec)
+}
+
+func (f *failNthBackend) Close() error { return f.inner.Close() }
+
+// TestShardedSurfacesRealShardError pins the failure path: when one shard
+// fails for a real reason, the cancellation it induces in peer shards must
+// not mask the root cause — the statement fails with the shard's error, not
+// context.Canceled.
+func TestShardedSurfacesRealShardError(t *testing.T) {
+	inner := &failNthBackend{inner: backend.NewSim(), n: 1}
+	sh, err := backend.NewSharded(inner, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	db := sqlfront.NewDB()
+	db.Register("tickets", ticketsTable(24))
+	_, err = db.Exec(conformanceStatements[0], sqlfront.ExecConfig{
+		Config: query.Config{Backend: sh},
+	})
+	if err == nil {
+		t.Fatal("statement succeeded with a failing shard")
+	}
+	if !errors.Is(err, errShardBoom) {
+		t.Fatalf("err = %v, want the failing shard's own error", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("real shard failure surfaced as cancellation: %v", err)
+	}
+}
+
+// TestShardedPreservesHitTokens quantifies the prefix-coherence argument at
+// the seam: sharding a hot statement must keep at least 90% of the
+// unsharded run's matched prefix tokens (the only loss is each shard
+// re-warming the fixed prompt prefix), while relations stay identical.
+func TestShardedPreservesHitTokens(t *testing.T) {
+	run := func(be backend.Backend) (int64, *sqlfront.Result) {
+		rec := backend.NewRecording(be)
+		defer rec.Close()
+		// A hot batch large enough that the per-shard prompt-prefix warm-up
+		// (the one constant cost sharding adds) is amortized, as it is in
+		// the serving workloads sharding exists for.
+		db := sqlfront.NewDB()
+		db.Register("tickets", ticketsTable(96))
+		sql := `SELECT ticket_id, LLM('Did the response resolve the request?', request, response) AS ok
+		        FROM tickets`
+		res, err := db.Exec(sql, sqlfront.ExecConfig{Config: query.Config{Backend: rec}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var matched int64
+		for _, b := range rec.Batches() {
+			matched += b.Metrics.MatchedTokens
+		}
+		return matched, res
+	}
+	baseHit, baseRes := run(backend.NewSim())
+	sh, err := backend.NewSharded(backend.NewSim(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardHit, shardRes := run(sh)
+	if fmt.Sprint(baseRes.Rows) != fmt.Sprint(shardRes.Rows) {
+		t.Error("sharded relation differs from unsharded")
+	}
+	if min := baseHit * 9 / 10; shardHit < min {
+		t.Errorf("sharded hit tokens = %d, want >= 90%% of unsharded %d", shardHit, baseHit)
+	}
+	t.Logf("hit tokens: unsharded %d, sharded %d", baseHit, shardHit)
+}

@@ -62,6 +62,15 @@ type Config struct {
 	// agree between the runtime's batch grouping and the backend's engine
 	// affinity.
 	Backend backend.Backend
+	// ReorderCache, when non-nil, memoizes GGR solves by (StageKey,
+	// table-content hash): a batch window identical to an earlier one reuses
+	// its schedule instead of re-running the solver. Like Backend it changes
+	// planning cost only, never results, and is excluded from StageKey.
+	ReorderCache *ReorderCache
+	// PromptCache, when non-nil, memoizes per-row prompt tokenization over
+	// one long-lived tokenizer shared across stages and batch windows. Nil
+	// keeps the historical throwaway-tokenizer-per-stage behavior.
+	PromptCache *PromptCache
 }
 
 func (c Config) oracle() oracle.Profile {
@@ -147,7 +156,8 @@ func RunStageContext(ctx context.Context, spec Spec, tbl *table.Table, cfg Confi
 	if tbl.NumRows() == 0 {
 		return &StageResult{Spec: spec, Rows: 0}, nil
 	}
-	sched, phc, solver, err := buildSchedule(tbl, cfg)
+	stageKey := StageKey(spec, tbl.Columns(), cfg)
+	sched, phc, solver, err := buildSchedule(tbl, cfg, stageKey)
 	if err != nil {
 		return nil, err
 	}
@@ -155,11 +165,13 @@ func RunStageContext(ctx context.Context, spec Spec, tbl *table.Table, cfg Confi
 		return nil, fmt.Errorf("query: schedule for %s broke semantics: %w", spec.Name, err)
 	}
 
-	tok := tokenizer.New()
-	prefix := tok.Encode(PromptPrefix(spec.UserPrompt))
+	// Tokenize through the shared memo when one is attached; otherwise a
+	// throwaway tokenizer confined to this stage, the historical behavior.
+	encode := cfg.PromptCache.encoder()
+	prefix := encode(PromptPrefix(spec.UserPrompt))
 	reqs := make([]*llmsim.Request, len(sched.Rows))
 	for i, row := range sched.Rows {
-		data := tok.Encode(RowJSON(row.Cells))
+		data := encode(RowJSON(row.Cells))
 		prompt := make([]tokenizer.Token, 0, len(prefix)+len(data))
 		prompt = append(prompt, prefix...)
 		prompt = append(prompt, data...)
@@ -175,8 +187,9 @@ func RunStageContext(ctx context.Context, spec Spec, tbl *table.Table, cfg Confi
 		be = backend.Default
 	}
 	br, err := be.RunBatch(ctx, backend.BatchSpec{
-		StageKey: StageKey(spec, tbl.Columns(), cfg),
+		StageKey: stageKey,
 		Requests: reqs,
+		Groups:   core.GroupStarts(sched),
 		Engine:   engineConfig(cfg),
 	})
 	if err != nil {
@@ -298,8 +311,10 @@ func KeyFieldRelPos(cells []core.Cell, field string) float64 {
 }
 
 // buildSchedule computes the request ordering for the policy, timing the
-// solver.
-func buildSchedule(tbl *table.Table, cfg Config) (*core.Schedule, int64, time.Duration, error) {
+// solver. GGR solves consult cfg.ReorderCache (keyed by stageKey plus the
+// table's content hash) when one is attached, so a batch window identical to
+// an earlier one skips the solve entirely.
+func buildSchedule(tbl *table.Table, cfg Config, stageKey string) (*core.Schedule, int64, time.Duration, error) {
 	start := time.Now()
 	var sched *core.Schedule
 	switch cfg.Policy {
@@ -312,7 +327,16 @@ func buildSchedule(tbl *table.Table, cfg Config) (*core.Schedule, int64, time.Du
 		if cfg.GGR != nil {
 			opt = *cfg.GGR
 		}
+		if cfg.ReorderCache == nil {
+			res := core.GGR(tbl, opt)
+			return res.Schedule, res.PHC, time.Since(start), nil
+		}
+		key := reorderKeyFor(stageKey, tbl)
+		if cached, phc, ok := cfg.ReorderCache.lookup(key); ok {
+			return cached, phc, time.Since(start), nil
+		}
 		res := core.GGR(tbl, opt)
+		cfg.ReorderCache.store(key, res.Schedule, res.PHC)
 		return res.Schedule, res.PHC, time.Since(start), nil
 	default:
 		return nil, 0, 0, fmt.Errorf("query: unknown policy %q", cfg.Policy)

@@ -1,0 +1,54 @@
+package query
+
+import "container/list"
+
+// lruMap is the one map+list LRU both planning caches share (schedules in
+// ReorderCache, token slices in PromptCache): insert-if-absent with
+// eviction past capacity, lookup that refreshes recency. It is not safe for
+// concurrent use — each owner guards it with its own mutex.
+type lruMap[K comparable, V any] struct {
+	capacity int
+	entries  map[K]*list.Element
+	order    *list.List // of lruCell[K, V]; front = most recently used
+}
+
+type lruCell[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRUMap[K comparable, V any](capacity int) *lruMap[K, V] {
+	return &lruMap[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// get returns the value for k, refreshing its recency.
+func (l *lruMap[K, V]) get(k K) (V, bool) {
+	if e, ok := l.entries[k]; ok {
+		l.order.MoveToFront(e)
+		return e.Value.(lruCell[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts k (refreshing recency if already present, keeping the first
+// value — callers racing to fill one key all computed the same thing) and
+// evicts least-recently-used entries past capacity.
+func (l *lruMap[K, V]) put(k K, v V) {
+	if e, ok := l.entries[k]; ok {
+		l.order.MoveToFront(e)
+		return
+	}
+	l.entries[k] = l.order.PushFront(lruCell[K, V]{key: k, val: v})
+	for len(l.entries) > l.capacity {
+		tail := l.order.Back()
+		l.order.Remove(tail)
+		delete(l.entries, tail.Value.(lruCell[K, V]).key)
+	}
+}
+
+func (l *lruMap[K, V]) len() int { return len(l.entries) }

@@ -74,6 +74,29 @@ type Metrics struct {
 	// (specs without content row keys cannot be cached).
 	DirectStages int64 `json:"directStages"`
 
+	// ReorderCacheHits / ReorderCacheMisses count GGR reorder-cache lookups
+	// by the stage scheduler; ReorderSolves the solver runs actually
+	// performed (misses that reached GGR). A repeated batch window shows up
+	// as hits > 0 with solves pinned.
+	ReorderCacheHits   int64 `json:"reorderCacheHits"`
+	ReorderCacheMisses int64 `json:"reorderCacheMisses"`
+	ReorderSolves      int64 `json:"reorderSolves"`
+	// PromptCacheHits / PromptCacheMisses count memoized prompt
+	// tokenizations (prefixes and row payloads shared across stages and
+	// batch windows).
+	PromptCacheHits   int64 `json:"promptCacheHits"`
+	PromptCacheMisses int64 `json:"promptCacheMisses"`
+
+	// ShardedBatches / ShardRuns / ShardJCTSeconds mirror the serving
+	// backend's data-parallel accounting when it is a backend.Sharded:
+	// batches split across engine replicas, sub-batches dispatched, and the
+	// summed per-shard virtual JCT (ShardJCTSeconds / ShardRuns is the mean
+	// per-shard latency; TotalJCT counts only the slowest shard of each
+	// batch, so the difference is the parallel speedup).
+	ShardedBatches  int64   `json:"shardedBatches"`
+	ShardRuns       int64   `json:"shardRuns"`
+	ShardJCTSeconds float64 `json:"shardJctSeconds"`
+
 	// TotalJCT / TotalSolverSeconds sum virtual serving time and scheduling
 	// time over engine runs, each run counted exactly once (per-statement
 	// results instead attribute a shared batch to every participant).

@@ -23,13 +23,19 @@
 //	      │                  statements piggyback on the first
 //	      └─ micro-batcher   pending misses that share a stage fingerprint
 //	            │            coalesce for a batch window, then run as ONE
-//	            ▼            GGR-reordered stage over the union of rows
+//	            │            GGR-reordered stage over the union of rows
+//	            │            (identical repeated windows skip the solve via
+//	            ▼            the reorder cache; prompts tokenize via a memo)
 //	      backend.Backend    (the pluggable engine seam: Sim confines one
 //	                          engine + kvcache to each coalesced run, the
-//	                          paper's setting; Persistent keeps a long-lived
-//	                          engine per stage fingerprint so the prefix
-//	                          cache survives BETWEEN batch windows;
-//	                          Recording taps batches for tests)
+//	                          paper's setting; Persistent keeps a pool of
+//	                          long-lived engine replicas per stage
+//	                          fingerprint so the prefix cache survives
+//	                          BETWEEN batch windows and concurrent windows
+//	                          overlap; Sharded splits a batch at its
+//	                          prefix-group boundaries and fans the shards
+//	                          out to concurrent engine runs; Recording taps
+//	                          batches for tests)
 //
 // The cross-query batcher is what turns the paper's reordering from a
 // per-query optimization into a fleet-level one: rows from different
@@ -100,8 +106,19 @@ type Config struct {
 	// Backend is the serving target every engine run goes to. Nil keeps
 	// Exec.Backend (and the package default — one confined engine per
 	// batch — when that is nil too). A persistent backend here is what
-	// lets prefix hits span batch windows; see internal/backend.
+	// lets prefix hits span batch windows; a backend.Sharded wrapper is what
+	// fans one hot batch out over engine replicas; see internal/backend.
 	Backend backend.Backend
+	// ReorderCacheCapacity bounds the GGR reorder cache in schedules
+	// (default query.DefaultReorderCacheCapacity; negative disables): a
+	// batch window identical to an earlier one — same stage fingerprint,
+	// same rows — reuses its schedule instead of re-running the solver.
+	ReorderCacheCapacity int
+	// PromptCacheCapacity bounds the prompt tokenization memo in distinct
+	// texts (default query.DefaultPromptCacheCapacity; negative disables):
+	// row payloads repeated across stages and batch windows are tokenized
+	// once, on one long-lived tokenizer.
+	PromptCacheCapacity int
 }
 
 func (c Config) workers() int {
@@ -165,6 +182,8 @@ type Runtime struct {
 	wg      sync.WaitGroup
 	cache   *resultCache
 	batcher *batcher
+	reorder *query.ReorderCache
+	prompts *query.PromptCache
 	c       counters
 
 	planMu sync.Mutex
@@ -205,6 +224,12 @@ func New(db *sqlfront.DB, cfg Config) *Runtime {
 		cache: newResultCache(cfg.cacheCapacity()),
 		plans: make(map[string]*sqlfront.Prepared),
 	}
+	if cfg.ReorderCacheCapacity >= 0 {
+		rt.reorder = query.NewReorderCache(cfg.ReorderCacheCapacity)
+	}
+	if cfg.PromptCacheCapacity >= 0 {
+		rt.prompts = query.NewPromptCache(cfg.PromptCacheCapacity)
+	}
 	rt.batcher = newBatcher(rt)
 	for i := 0; i < cfg.workers(); i++ {
 		rt.wg.Add(1)
@@ -216,8 +241,33 @@ func New(db *sqlfront.DB, cfg Config) *Runtime {
 // DB returns the registry statements run against.
 func (rt *Runtime) DB() *sqlfront.DB { return rt.db }
 
-// Metrics snapshots the runtime's accounting.
-func (rt *Runtime) Metrics() Metrics { return rt.c.snapshot() }
+// Metrics snapshots the runtime's accounting, folding in the reorder
+// cache's solver accounting and — when the serving backend is a
+// backend.Sharded — the data-parallel shard counters.
+func (rt *Runtime) Metrics() Metrics {
+	m := rt.c.snapshot()
+	if rt.reorder != nil {
+		s := rt.reorder.Stats()
+		m.ReorderCacheHits, m.ReorderCacheMisses, m.ReorderSolves = s.Hits, s.Misses, s.Solves
+	}
+	if rt.prompts != nil {
+		m.PromptCacheHits, m.PromptCacheMisses = rt.prompts.Hits(), rt.prompts.Misses()
+	}
+	if sh, ok := rt.servingBackend().(*backend.Sharded); ok {
+		s := sh.Stats()
+		m.ShardedBatches, m.ShardRuns, m.ShardJCTSeconds = s.ShardedBatches, s.ShardRuns, s.ShardJCTSeconds
+	}
+	return m
+}
+
+// servingBackend resolves the backend statements actually run on, mirroring
+// the worker's override order: Config.Backend wins over Exec's embedded one.
+func (rt *Runtime) servingBackend() backend.Backend {
+	if rt.cfg.Backend != nil {
+		return rt.cfg.Backend
+	}
+	return rt.cfg.Exec.Backend
+}
 
 // CachedResults reports the result cache's current entry count.
 func (rt *Runtime) CachedResults() int { return rt.cache.len() }
@@ -398,6 +448,12 @@ func (rt *Runtime) worker() {
 		}
 		if rt.cfg.Backend != nil {
 			cfg.Backend = rt.cfg.Backend
+		}
+		if cfg.ReorderCache == nil {
+			cfg.ReorderCache = rt.reorder
+		}
+		if cfg.PromptCache == nil {
+			cfg.PromptCache = rt.prompts
 		}
 		cfg.StageRunner = rt.RunStage
 		res, err := j.p.ExecContext(j.ctx, cfg)

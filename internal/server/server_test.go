@@ -325,6 +325,16 @@ func TestMetricsEndpoint(t *testing.T) {
 	if m.LLMCalls == 0 || m.PromptTokens == 0 {
 		t.Errorf("no serving accounting in metrics: %+v", m)
 	}
+	// The PR 5 planning-amortization counters ride on the same endpoint: one
+	// statement = one batch window = one GGR solve through the reorder
+	// cache, and every prompt text is a first-time tokenization.
+	if m.ReorderSolves != 1 || m.ReorderCacheMisses != 1 {
+		t.Errorf("reorder accounting not exposed: solves=%d misses=%d, want 1/1",
+			m.ReorderSolves, m.ReorderCacheMisses)
+	}
+	if m.PromptCacheMisses == 0 {
+		t.Errorf("prompt-cache accounting not exposed: %+v", m)
+	}
 
 	// Method and availability guards.
 	if rec := post(t, h, "/v1/metrics", struct{}{}); rec.Code != http.StatusMethodNotAllowed {

@@ -25,9 +25,11 @@
 // statements, the concurrent runtime, and the HTTP service — hands its
 // scheduled batches to a Backend instead of constructing engines inline.
 // NewSimBackend reproduces the paper's one-engine-per-batch setting (the
-// default), NewPersistentBackend keeps long-lived engines whose KV cache
-// survives between batches so prefix hits span batch windows, and
-// NewRecordingBackend taps batches for tests and metrics. Every execution
+// default), NewPersistentBackend keeps pools of long-lived engine replicas
+// whose KV caches survive between batches so prefix hits span batch
+// windows, NewShardedBackend fans one batch out over concurrent engine runs
+// at its prefix-group boundaries, and NewRecordingBackend taps batches for
+// tests and metrics. Every execution
 // entry point has a Context variant (ExecSQLContext, RunQueryContext,
 // Runtime.SubmitContext/ExecContext, ...): canceling the context stops the
 // statement between LLM stages and mid-batch, returning an error wrapping
@@ -312,12 +314,15 @@ type (
 	Backend     = backend.Backend
 	BatchSpec   = backend.BatchSpec
 	BatchResult = backend.BatchResult
-	// SimBackend is the per-batch engine; PersistentBackend keeps a
-	// long-lived engine per stage fingerprint so the prefix cache survives
-	// between batches; RecordingBackend decorates another backend with a
-	// batch log for tests and metrics.
+	// SimBackend is the per-batch engine; PersistentBackend keeps a pool
+	// of long-lived engine replicas per stage fingerprint so the prefix
+	// cache survives between batches and concurrent batches overlap;
+	// ShardedBackend fans one batch out over concurrent engine runs at its
+	// prefix-group boundaries; RecordingBackend decorates another backend
+	// with a batch log for tests and metrics.
 	SimBackend        = backend.Sim
 	PersistentBackend = backend.Persistent
+	ShardedBackend    = backend.Sharded
 	RecordingBackend  = backend.Recording
 	RecordedBatch     = backend.RecordedBatch
 )
@@ -327,12 +332,21 @@ type (
 func NewSimBackend() *SimBackend { return backend.NewSim() }
 
 // NewPersistentBackend returns a backend that serves each stage fingerprint
-// on a long-lived engine whose KV cache survives between batches, so prefix
-// hits span batch windows and statements. It retains at most engineBudget
-// engines, evicted LRU (<= 0 uses the default budget). Close it to release
-// the engines.
+// on a pool of long-lived engine replicas whose KV caches survive between
+// batches, so prefix hits span batch windows and statements while
+// concurrent batches on one hot stage overlap on separate replicas. It
+// retains at most engineBudget replicas, evicted LRU (<= 0 uses the default
+// budget). Close it to release the engines.
 func NewPersistentBackend(engineBudget int) *PersistentBackend {
 	return backend.NewPersistent(engineBudget)
+}
+
+// NewShardedBackend wraps inner (nil wraps a fresh sim backend) with a
+// data-parallel fan-out: each batch is split at its prefix-group boundaries
+// into up to shards balanced sub-batches served concurrently, cutting batch
+// latency while keeping relations byte-identical. shards < 1 is an error.
+func NewShardedBackend(inner Backend, shards int) (*ShardedBackend, error) {
+	return backend.NewSharded(inner, shards)
 }
 
 // NewRecordingBackend decorates inner (nil wraps a fresh sim backend) with
