@@ -1,0 +1,151 @@
+// Command llmqlint is the repo's invariant multichecker: it runs the
+// internal/lint analyzer suite (ctxflow, guardedby, confined, accounting,
+// errwrap) over the packages matching its arguments and exits non-zero when
+// any contract is violated.
+//
+// Usage:
+//
+//	go run ./cmd/llmqlint ./...
+//	go run ./cmd/llmqlint -analyzers ctxflow,errwrap ./internal/runtime
+//	go run ./cmd/llmqlint -list
+//
+// Diagnostics print as file:line:col: message (analyzer). Type errors in an
+// analyzed package are reported too — the suite refuses to bless code it
+// could not fully type-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "print the registered analyzers and exit")
+		filter = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: llmqlint [-analyzers a,b] packages...\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the repo invariant suite; see internal/lint/README.md.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llmqlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llmqlint:", err)
+		os.Exit(2)
+	}
+	l, err := loader.New(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llmqlint:", err)
+		os.Exit(2)
+	}
+	l.Prefetch(patterns...)
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llmqlint:", err)
+		os.Exit(2)
+	}
+
+	type finding struct {
+		pos      string
+		line     int
+		msg      string
+		analyzer string
+	}
+	var findings []finding
+	failed := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "llmqlint: %s: %v\n", pkg.Path, terr)
+			failed = true
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				p := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					pos:      p.String(),
+					line:     p.Line,
+					msg:      d.Message,
+					analyzer: a.Name,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "llmqlint: %s on %s: %v\n", a.Name, pkg.Path, err)
+				failed = true
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].pos != findings[j].pos {
+			return findings[i].pos < findings[j].pos
+		}
+		return findings[i].analyzer < findings[j].analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s (%s)\n", f.pos, f.msg, f.analyzer)
+	}
+	if len(findings) > 0 || failed {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -analyzers filter against the registry.
+func selectAnalyzers(filter string) ([]*analysis.Analyzer, error) {
+	if filter == "" {
+		return lint.Analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(lint.Analyzers))
+	for _, a := range lint.Analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -analyzers filter")
+	}
+	return out, nil
+}

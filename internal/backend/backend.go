@@ -67,6 +67,11 @@ type BatchSpec struct {
 
 // BatchResult reports one engine run: model calls made, hit/total prompt
 // tokens, and latency (all inside Metrics).
+//
+// Counting fields are conserved accounting: the llmqlint accounting
+// analyzer rejects keyed literals that set some counters and omit others.
+//
+//llmqlint:accounting
 type BatchResult struct {
 	// Metrics is the engine's accounting: JCT, prompt/matched/prefilled
 	// tokens, per-request latency percentiles.

@@ -47,12 +47,12 @@ const DefaultStageReplicas = 4
 // once it finishes.
 type Persistent struct {
 	mu       sync.Mutex
-	closed   bool
-	budget   int // max live replicas across all stages
-	perStage int // max replicas per stage pool
-	replicas int // live replicas across all pools
-	pools    map[string]*stagePool
-	lru      *list.List // of *stagePool; front = least recently used
+	closed   bool                  // guarded by mu
+	budget   int                   // max live replicas across all stages
+	perStage int                   // max replicas per stage pool
+	replicas int                   // guarded by mu; live replicas across all pools
+	pools    map[string]*stagePool // guarded by mu
+	lru      *list.List            // guarded by mu; of *stagePool; front = least recently used
 }
 
 // stagePool is one stage fingerprint's replica pool. All fields are guarded
@@ -251,6 +251,8 @@ func (p *Persistent) release(pool *stagePool, eng *llmsim.Engine) {
 // replicas of the least recently used stages (never pool's own — its idle
 // stack is empty when this runs — and never a replica mid-run). Pools left
 // empty with no waiters are removed entirely. Called with p.mu held.
+//
+//llmqlint:holds mu
 func (p *Persistent) evictForBudget(pool *stagePool) {
 	for p.replicas >= p.budget {
 		evicted := false

@@ -8,6 +8,11 @@ import (
 )
 
 // RecordedBatch is one RunBatch observed by a Recording backend.
+//
+// Counting fields are conserved accounting: the llmqlint accounting
+// analyzer rejects keyed literals that set some counters and omit others.
+//
+//llmqlint:accounting
 type RecordedBatch struct {
 	StageKey   string
 	Rows       int // requests in the batch
@@ -25,7 +30,7 @@ type Recording struct {
 	inner Backend
 
 	mu      sync.Mutex
-	batches []RecordedBatch
+	batches []RecordedBatch // guarded by mu
 }
 
 var _ Backend = (*Recording)(nil)
@@ -42,14 +47,16 @@ func NewRecording(inner Backend) *Recording {
 // including failed and canceled batches.
 func (r *Recording) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, error) {
 	res, err := r.inner.RunBatch(ctx, spec)
+	outTok := 0
+	for _, req := range spec.Requests {
+		outTok += req.OutTokens
+	}
 	rec := RecordedBatch{
 		StageKey:   spec.StageKey,
 		Rows:       len(spec.Requests),
+		OutTokens:  outTok,
 		ModelCalls: res.ModelCalls,
 		Metrics:    res.Metrics,
-	}
-	for _, req := range spec.Requests {
-		rec.OutTokens += req.OutTokens
 	}
 	if err != nil {
 		rec.Err = err.Error()

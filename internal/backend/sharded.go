@@ -68,6 +68,11 @@ func NewSharded(inner Backend, shards int) (*Sharded, error) {
 func (s *Sharded) Shards() int { return s.shards }
 
 // ShardStats is the decorator's accounting, merged into runtime.Metrics.
+//
+// Counting fields are conserved accounting: the llmqlint accounting
+// analyzer rejects keyed literals that set some counters and omit others.
+//
+//llmqlint:accounting
 type ShardStats struct {
 	// ShardedBatches counts batches actually split (>= 2 sub-batches);
 	// ShardRuns the sub-batches dispatched to the inner backend.

@@ -79,6 +79,7 @@ type Config struct {
 
 func (c Config) context() context.Context {
 	if c.ctx == nil {
+		//llmqlint:detached -- Config carries no context by default; RunContext injects one
 		return context.Background()
 	}
 	return c.ctx
@@ -235,6 +236,7 @@ func Experiments() []string {
 
 // Run executes one experiment by ID.
 func Run(id string, cfg Config) (*Report, error) {
+	//llmqlint:detached -- no-cancellation convenience wrapper over RunContext
 	return RunContext(context.Background(), id, cfg)
 }
 

@@ -30,6 +30,11 @@ type Config struct {
 }
 
 // Stats aggregates cache behaviour over a run.
+//
+// Counting fields are conserved accounting: the llmqlint accounting
+// analyzer rejects keyed literals that set some counters and omit others.
+//
+//llmqlint:accounting
 type Stats struct {
 	// MatchedTokens is the total number of prompt tokens served from cache.
 	MatchedTokens int64

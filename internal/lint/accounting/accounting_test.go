@@ -1,0 +1,12 @@
+package accounting_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/accounting"
+	"repro/internal/lint/analysistest"
+)
+
+func TestAccounting(t *testing.T) {
+	analysistest.Run(t, "testdata", accounting.Analyzer, "accounting")
+}

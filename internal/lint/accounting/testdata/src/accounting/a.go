@@ -1,0 +1,66 @@
+// Package accounting is the accounting analyzer's fixture: a result type
+// with counting fields constructed completely, partially, as an
+// accumulator, and under the escape annotation.
+package accounting
+
+// report is the fixture's accounting type.
+//
+//llmqlint:accounting
+type report struct {
+	Name       string
+	Tokens     int
+	Steps      int
+	Seconds    float64
+	ModelCalls int
+	notes      []string
+}
+
+// plain is a look-alike WITHOUT the annotation: never checked.
+type plain struct {
+	Tokens int
+	Steps  int
+}
+
+// complete keys every counter: legal.
+func complete(tok, steps, calls int, sec float64) report {
+	return report{
+		Name:       "complete",
+		Tokens:     tok,
+		Steps:      steps,
+		Seconds:    sec,
+		ModelCalls: calls,
+	}
+}
+
+// accumulator starts from the zero value: legal.
+func accumulator() report {
+	merged := report{}
+	merged.Tokens++
+	return merged
+}
+
+// nonCounting keys only non-counting fields: legal (no counter touched).
+func nonCounting() report {
+	return report{Name: "idle", notes: []string{"x"}}
+}
+
+// partialBad keys some counters and forgets the rest.
+func partialBad(tok int) report {
+	return report{Name: "bad", Tokens: tok} // want `report literal sets some counting fields but omits Steps, Seconds, ModelCalls`
+}
+
+// partialPtrBad does the same through a pointer literal.
+func partialPtrBad(steps int) *report {
+	return &report{Steps: steps, ModelCalls: 1} // want `report literal sets some counting fields but omits Tokens, Seconds`
+}
+
+// partialOK declares the omission on purpose.
+func partialOK(tok int) report {
+	//llmqlint:partial
+	return report{Name: "delta", Tokens: tok}
+}
+
+// unannotated types are free to be sloppy.
+func sloppy(tok int) plain {
+	return plain{Tokens: tok}
+}

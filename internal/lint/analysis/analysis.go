@@ -1,0 +1,214 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: just enough surface — Analyzer,
+// Pass, Diagnostic — for this repo's invariant suite (internal/lint/...) to
+// be written in the standard go/analysis shape without the x/tools
+// dependency, which the build environment does not carry. If the module ever
+// grows a vendored x/tools, the analyzers port by changing one import line.
+//
+// The deliberate differences from x/tools are documented where they matter:
+// there is no Facts mechanism (cross-package type annotations are registered
+// by qualified name instead — see internal/lint/accounting), no SSA, and no
+// analyzer-to-analyzer Requires graph; every analyzer works from the parsed
+// files and the go/types information the loader provides.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -analyzers filters.
+	Name string
+	// Doc is the one-paragraph description `llmqlint -help` prints.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass holds one package's parsed and type-checked state for an analyzer
+// run. Unlike x/tools there is no ResultOf/Facts plumbing.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic; the driver collects and sorts them.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// --- llmqlint directives --------------------------------------------------
+//
+// Annotations are ordinary comments: `//llmqlint:<verb>` optionally followed
+// by arguments (`//llmqlint:holds mu`). A directive suppresses or scopes a
+// check for the line it sits on or the line directly below it, matching how
+// //nolint and //go:... directives attach in practice.
+
+// directiveRe matches one llmqlint directive comment line.
+var directiveRe = regexp.MustCompile(`^//\s*llmqlint:([a-z]+)(?:\s+(.*))?$`)
+
+// Directives indexes every llmqlint directive in file by the source line it
+// governs: the directive's own line and the line below it (so a comment
+// above a statement covers the statement).
+type Directives struct {
+	fset  *token.FileSet
+	lines map[string][]string // "file:line" -> verbs ("detached", "holds mu")
+}
+
+// DirectivesFor scans file's comments for llmqlint directives.
+func DirectivesFor(fset *token.FileSet, file *ast.File) *Directives {
+	d := &Directives{fset: fset, lines: make(map[string][]string)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := directiveRe.FindStringSubmatch(strings.TrimSpace(c.Text))
+			if m == nil {
+				continue
+			}
+			verb := m[1]
+			if m[2] != "" {
+				verb += " " + strings.TrimSpace(m[2])
+			}
+			pos := fset.Position(c.Pos())
+			for _, line := range []int{pos.Line, pos.Line + 1} {
+				key := lineKey(pos.Filename, line)
+				d.lines[key] = append(d.lines[key], verb)
+			}
+		}
+	}
+	return d
+}
+
+// Has reports whether a directive with the given verb (exact match on the
+// verb word, arguments ignored) governs pos's line.
+func (d *Directives) Has(pos token.Pos, verb string) bool {
+	p := d.fset.Position(pos)
+	for _, v := range d.lines[lineKey(p.Filename, p.Line)] {
+		if v == verb || strings.HasPrefix(v, verb+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// Args returns the argument lists of every directive with the given verb
+// governing pos's line ("holds mu" → ["mu"]).
+func (d *Directives) Args(pos token.Pos, verb string) []string {
+	p := d.fset.Position(pos)
+	var out []string
+	for _, v := range d.lines[lineKey(p.Filename, p.Line)] {
+		if rest, ok := strings.CutPrefix(v, verb+" "); ok {
+			out = append(out, rest)
+		}
+	}
+	return out
+}
+
+// CommentText returns the comment text (doc and trailing line comments)
+// attached to a node via the file's comment groups, for annotation matching
+// such as `// guarded by mu`. It relies on parser.ParseComments having
+// populated the field comments directly (ast.Field.Doc / ast.Field.Comment),
+// so callers pass those; this helper just flattens a group to text.
+func CommentText(groups ...*ast.CommentGroup) string {
+	var sb strings.Builder
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			sb.WriteString(c.Text)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// IsPkgIdent reports whether expr is an identifier naming the import of
+// pkgPath (e.g. the `context` in `context.Background`).
+func IsPkgIdent(info *types.Info, expr ast.Expr, pkgPath string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// ContainsNamed unwraps pointers, slices, arrays, maps, and channels around
+// t and reports whether any leaf is the named type pkgPath.name, so a
+// `map[string][]*llmsim.Engine` is still caught. It does not descend into
+// OTHER named types' structure: a struct that embeds a confined type is that
+// struct's own declaration problem, flagged where the field is declared.
+func ContainsNamed(t types.Type, pkgPath, name string) bool {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.(type) {
+		case *types.Named:
+			obj := u.Obj()
+			if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name {
+				return true
+			}
+			return false // do not descend into other named types' structure
+		case *types.Pointer:
+			return walk(u.Elem())
+		case *types.Slice:
+			return walk(u.Elem())
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Map:
+			return walk(u.Key()) || walk(u.Elem())
+		case *types.Chan:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// ExprString renders a simple expression chain (identifiers, selectors,
+// parens, derefs) as source text for syntactic comparisons such as matching
+// `rt.cache.mu.Lock()` against an access to `rt.cache.entries`. Expressions
+// outside that shape render as "" and never match.
+func ExprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := ExprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(x.X)
+	case *ast.StarExpr:
+		return ExprString(x.X)
+	}
+	return ""
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

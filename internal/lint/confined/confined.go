@@ -1,0 +1,153 @@
+// Package confined enforces the engine-confinement rule the backend seam is
+// built on: *llmsim.Engine and *kvcache.Cache are single-threaded (the KV
+// trie documents it, and the conformance suite probes it dynamically), so
+// outside internal/backend — the one layer allowed to own long-lived engine
+// state, behind its pool locks — no package may
+//
+//   - declare a struct field holding an engine or cache (that is long-lived
+//     state waiting for a second goroutine),
+//   - declare a package-level variable holding one, or
+//   - capture one in a goroutine (`go func() { ... eng ... }()`) or pass one
+//     as an argument in a `go` call.
+//
+// Locals are fine: "one engine per batch, confined to the run" is exactly a
+// local variable's lifetime. The defining packages (internal/llmsim,
+// internal/kvcache) are exempt, as are this package's own fixtures for other
+// types named Engine/Cache — matching is by fully qualified type identity,
+// through pointers, slices, maps, arrays, and channels.
+package confined
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the confined pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "confined",
+	Doc: "*llmsim.Engine and *kvcache.Cache must stay confined: no struct " +
+		"fields, package variables, or goroutine captures outside internal/backend",
+	Run: run,
+}
+
+// confinedTypes lists the single-goroutine types, by defining package path
+// and type name.
+var confinedTypes = [][2]string{
+	{"repro/internal/llmsim", "Engine"},
+	{"repro/internal/kvcache", "Cache"},
+}
+
+// exemptPkgs may own confined values: the serving seam itself and the
+// defining packages.
+var exemptPkgs = map[string]bool{
+	"repro/internal/backend": true,
+	"repro/internal/llmsim":  true,
+	"repro/internal/kvcache": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || exemptPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.StructType:
+				for _, f := range node.Fields.List {
+					if name, bad := confinedExpr(pass, f.Type); bad {
+						pass.Reportf(f.Pos(),
+							"struct field holds %s outside internal/backend: engines and KV caches are single-goroutine and must stay confined to one batch or pool lease",
+							name)
+					}
+				}
+			case *ast.GenDecl:
+				// Package-level vars only; locals are the confined pattern.
+				if node.Tok.String() != "var" || !isPackageLevel(file, node) {
+					return true
+				}
+				for _, spec := range node.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, vn := range vs.Names {
+						obj := pass.TypesInfo.Defs[vn]
+						if obj == nil {
+							continue
+						}
+						if name, bad := confinedType(obj.Type()); bad {
+							pass.Reportf(vn.Pos(),
+								"package-level variable holds %s outside internal/backend", name)
+						}
+					}
+				}
+			case *ast.GoStmt:
+				checkGo(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGo flags confined values escaping into a goroutine, either as call
+// arguments or as free variables of a function literal.
+func checkGo(pass *analysis.Pass, g *ast.GoStmt) {
+	for _, arg := range g.Call.Args {
+		if name, bad := confinedExpr(pass, arg); bad {
+			pass.Reportf(arg.Pos(), "%s passed to a goroutine: engines and KV caches are single-goroutine", name)
+		}
+	}
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// A free variable of the literal is one whose declaration lies outside
+	// the literal's body.
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.Pos() == 0 {
+			return true
+		}
+		if lit.Body.Pos() <= obj.Pos() && obj.Pos() <= lit.Body.End() {
+			return true // declared inside the goroutine: confined to it
+		}
+		if name, bad := confinedType(obj.Type()); bad {
+			pass.Reportf(id.Pos(), "%s captured by a goroutine: engines and KV caches are single-goroutine", name)
+		}
+		return true
+	})
+}
+
+func confinedExpr(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	return confinedType(tv.Type)
+}
+
+func confinedType(t types.Type) (string, bool) {
+	for _, ct := range confinedTypes {
+		if analysis.ContainsNamed(t, ct[0], ct[1]) {
+			return ct[0] + "." + ct[1], true
+		}
+	}
+	return "", false
+}
+
+// isPackageLevel reports whether decl is a top-level declaration of file.
+func isPackageLevel(file *ast.File, decl *ast.GenDecl) bool {
+	for _, d := range file.Decls {
+		if d == decl {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package confined_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/confined"
+)
+
+func TestConfined(t *testing.T) {
+	analysistest.Run(t, "testdata", confined.Analyzer, "confined")
+}

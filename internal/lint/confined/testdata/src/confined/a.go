@@ -1,0 +1,50 @@
+// Package confined is the confined analyzer's fixture: engine and cache
+// values escaping their batch in every way the rule forbids, plus the
+// sanctioned local-variable pattern.
+package confined
+
+import (
+	"repro/internal/kvcache"
+	"repro/internal/llmsim"
+)
+
+// holder stashes an engine in long-lived state.
+type holder struct {
+	eng *llmsim.Engine // want `struct field holds repro/internal/llmsim\.Engine`
+	n   int
+}
+
+// poolish hides the engines one level down in a container.
+type poolish struct {
+	idle map[string][]*llmsim.Engine // want `struct field holds repro/internal/llmsim\.Engine`
+}
+
+// cacheHolder stashes the KV cache instead.
+type cacheHolder struct {
+	kv *kvcache.Cache // want `struct field holds repro/internal/kvcache\.Cache`
+}
+
+// leakedEngine is package-level engine state.
+var leakedEngine *llmsim.Engine // want `package-level variable holds repro/internal/llmsim\.Engine`
+
+// use keeps an engine confined to one call frame: the sanctioned pattern.
+func use(cfg llmsim.Config, reqs []*llmsim.Request) (llmsim.Metrics, error) {
+	eng := llmsim.New(cfg)
+	return eng.Run(reqs)
+}
+
+// escapeCapture lets a goroutine capture the batch's engine.
+func escapeCapture(cfg llmsim.Config, reqs []*llmsim.Request) {
+	eng := llmsim.New(cfg)
+	go func() {
+		_, _ = eng.Run(reqs) // want `repro/internal/llmsim\.Engine captured by a goroutine`
+	}()
+}
+
+// escapeArg hands the engine to a goroutine as an argument.
+func escapeArg(cfg llmsim.Config) {
+	eng := llmsim.New(cfg)
+	go drain(eng) // want `repro/internal/llmsim\.Engine passed to a goroutine`
+}
+
+func drain(eng *llmsim.Engine) { _ = eng }

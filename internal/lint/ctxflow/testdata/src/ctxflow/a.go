@@ -1,0 +1,58 @@
+// Package ctxflow is the ctxflow analyzer's fixture: a miniature of the
+// runtime's context plumbing with one of every violation and one of every
+// sanctioned pattern.
+package ctxflow
+
+import "context"
+
+// bad detaches from the caller's context with no annotation.
+func bad() context.Context {
+	return context.Background() // want `context\.Background in library code`
+}
+
+// badTODO leaves a TODO context in library code.
+func badTODO() context.Context {
+	return context.TODO() // want `context\.TODO in library code`
+}
+
+// Run is a documented no-cancellation convenience wrapper; the directive
+// sanctions its detachment point.
+func Run() error {
+	//llmqlint:detached -- convenience wrapper, documented as non-cancelable
+	return RunContext(context.Background())
+}
+
+// RunContext threads ctx properly.
+func RunContext(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// badOrder takes its context second.
+func badOrder(name string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_ = name
+	return ctx.Err()
+}
+
+// goodOrder takes its context first.
+func goodOrder(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Runner's hook field must also put ctx first.
+type Runner struct {
+	Good func(ctx context.Context, q string) error
+	Bad  func(q string, ctx context.Context) error // want `context\.Context must be the first parameter`
+}
+
+// Backend is an interface whose methods follow the same rule.
+type Backend interface {
+	Run(ctx context.Context, q string) error
+	RunBad(q string, ctx context.Context) error // want `context\.Context must be the first parameter`
+}
+
+// inLiteral checks function literals too.
+var inLiteral = func(n int, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_ = n
+	return ctx.Err()
+}

@@ -1,0 +1,139 @@
+// Package errwrap enforces the error-chain contract: when fmt.Errorf adds
+// context around an underlying error, the error argument must be formatted
+// with %w so errors.Is/As keep working through the serving stack (the
+// runtime matches context.Canceled and backend sentinel errors through
+// several wrapping layers). Formatting an error with %v or %s silently
+// flattens it to text and breaks that matching.
+//
+// The rule is syntactic but type-aware: in a fmt.Errorf call whose format
+// string is a literal, every argument of error type must line up with a %w
+// verb. Calls whose format is not a string literal are skipped (the verb
+// cannot be seen), and a deliberate flattening — e.g. recording an error's
+// text in a log-style message that must not be unwrappable — is annotated
+// //llmqlint:nowrap on the call's line or the line above.
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the errwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf must wrap error arguments with %w (not %v/%s) so " +
+		"errors.Is/As see through the chain; annotate deliberate flattening //llmqlint:nowrap",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		dirs := analysis.DirectivesFor(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkErrorf(pass, dirs, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags error-typed arguments of a fmt.Errorf call whose verb
+// is not %w.
+func checkErrorf(pass *analysis.Pass, dirs *analysis.Directives, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" || !analysis.IsPkgIdent(pass.TypesInfo, sel.X, "fmt") {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return // dynamic format: verbs not visible
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if !isErrorType(pass, arg) {
+			continue
+		}
+		verb := byte(0)
+		if i < len(verbs) {
+			verb = verbs[i]
+		}
+		if verb == 'w' {
+			continue
+		}
+		if dirs.Has(call.Pos(), "nowrap") {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"error argument formatted with %%%c, not %%w: errors.Is/As cannot see through this wrap (annotate //llmqlint:nowrap if flattening is intended)",
+			printableVerb(verb))
+	}
+}
+
+// formatVerbs extracts the verb letter consumed by each successive operand
+// of a Printf-style format. Width/precision/flags are skipped; `*` consumes
+// an operand of its own; %% consumes none. Explicit argument indexes
+// (%[1]d) are rare in this codebase and handled conservatively by mapping
+// the verb to the next operand slot.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal percent: no operand
+			}
+			if c == '*' {
+				verbs = append(verbs, '*') // width/precision operand
+				i++
+				continue
+			}
+			if (c >= '0' && c <= '9') || c == '.' || c == '+' || c == '-' ||
+				c == ' ' || c == '#' || c == '[' || c == ']' {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}
+
+func isErrorType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.AssignableTo(tv.Type, errorType)
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// printableVerb renders the matched verb for the diagnostic; 0 means the
+// error argument had no verb at all (extra operand).
+func printableVerb(v byte) byte {
+	if v == 0 {
+		return '!'
+	}
+	return v
+}

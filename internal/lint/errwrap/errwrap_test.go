@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrap.Analyzer, "errwrap")
+}

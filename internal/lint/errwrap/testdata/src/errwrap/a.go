@@ -1,0 +1,51 @@
+// Package errwrap is the errwrap analyzer's fixture: fmt.Errorf calls that
+// wrap, flatten, and deliberately flatten errors.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// wrapped keeps the chain intact: legal.
+func wrapped(stage string) error {
+	return fmt.Errorf("stage %s: %w", stage, errSentinel)
+}
+
+// flattenedV loses the chain through %v.
+func flattenedV(stage string) error {
+	return fmt.Errorf("stage %s: %v", stage, errSentinel) // want `error argument formatted with %v, not %w`
+}
+
+// flattenedS loses it through %s.
+func flattenedS(err error) error {
+	return fmt.Errorf("run failed: %s", err) // want `error argument formatted with %s, not %w`
+}
+
+// mixed wraps one error but flattens the other.
+func mixed(a, b error) error {
+	return fmt.Errorf("a=%w b=%v", a, b) // want `error argument formatted with %v, not %w`
+}
+
+// deliberate flattens on purpose and says so.
+func deliberate(err error) error {
+	//llmqlint:nowrap
+	return fmt.Errorf("terminal: %v", err)
+}
+
+// dynamicFormat cannot be checked: skipped.
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// widthOperand exercises the `*` operand slot before the error.
+func widthOperand(err error) error {
+	return fmt.Errorf("pad %*d then %v", 8, 1, err) // want `error argument formatted with %v, not %w`
+}
+
+// notErrorf is a different function entirely: skipped.
+func notErrorf(err error) string {
+	return fmt.Sprintf("oops: %v", err)
+}

@@ -1,0 +1,172 @@
+// Package guardedby enforces the repo's mutex annotation contract: a struct
+// field whose declaration comment says `guarded by <mu>` (where <mu> is a
+// sibling sync.Mutex/RWMutex field) may only be read or written inside a
+// function that visibly locks that mutex on the same base value:
+//
+//	type resultCache struct {
+//		mu      sync.Mutex
+//		entries map[string]*cacheEntry // guarded by mu
+//	}
+//
+//	func (c *resultCache) len() int {
+//		c.mu.Lock()          // <- what the analyzer looks for
+//		defer c.mu.Unlock()
+//		return len(c.entries)
+//	}
+//
+// The check is deliberately syntactic, per the contract this repo already
+// writes in prose ("All fields are guarded by ...", "needs db.mu held"): a
+// function touching a guarded field must either contain a `<base>.<mu>.Lock()`
+// or `.RLock()` call on the access's own base expression, declare that its
+// caller holds the lock — by the existing `...Locked` name suffix convention
+// (see sqlfront.registeredListLocked) or a `//llmqlint:holds <mu>` directive
+// on its declaration — or be building a brand-new value (keyed composite
+// literals initialize fields without locking and are not field accesses).
+//
+// What it cannot see: lock/access ordering within the body, closures that
+// outlive the locked region, or aliasing through a second variable. It is a
+// tripwire for the class of race the PR 5 replica-pool rework fixed by hand
+// — a new method touching pool state without taking the pool lock — not a
+// proof of race freedom; the -race CI jobs remain the dynamic backstop.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the guardedby pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated `// guarded by mu` may only be accessed in " +
+		"functions that lock the named mutex (or declare //llmqlint:holds mu " +
+		"or carry the ...Locked suffix)",
+	Run: run,
+}
+
+// guardRe extracts the mutex name from a field's annotation comment.
+var guardRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		dirs := analysis.DirectivesFor(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guards, dirs)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps annotated field objects to their guarding mutex field
+// name, validating that the named guard is a sibling field.
+func collectGuards(pass *analysis.Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := make(map[string]bool)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				m := guardRe.FindStringSubmatch(analysis.CommentText(f.Doc, f.Comment))
+				if m == nil {
+					continue
+				}
+				mu := m[1]
+				if !siblings[mu] {
+					pass.Reportf(f.Pos(), "field is `guarded by %s` but the struct has no field %s", mu, mu)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// checkFunc verifies every guarded-field access in fd's body (function
+// literals included: a closure created in a locked region is treated as
+// running under that region's locks — see the package comment's caveats).
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[types.Object]string, dirs *analysis.Directives) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return // caller-holds-lock convention, same as registeredListLocked
+	}
+
+	// held collects "base.mu" strings this function visibly locks, plus
+	// "recv.mu" for every //llmqlint:holds mu directive on the declaration.
+	held := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if base := analysis.ExprString(sel.X); base != "" {
+				held[base] = true
+			}
+		}
+		return true
+	})
+	var recv string
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	// The holds directive sits on the last doc-comment line, so its reach
+	// (own line + next) covers the `func` keyword's line.
+	for _, mu := range dirs.Args(fd.Pos(), "holds") {
+		if recv != "" {
+			held[recv+"."+mu] = true
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		mu, guarded := guards[s.Obj()]
+		if !guarded {
+			return true
+		}
+		base := analysis.ExprString(sel.X)
+		if base == "" || held[base+"."+mu] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s, but this function neither locks %s.%s nor declares //llmqlint:holds %s (or a ...Locked name)",
+			base, sel.Sel.Name, mu, base, mu, mu)
+		return true
+	})
+}

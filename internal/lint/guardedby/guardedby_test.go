@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "guardedby")
+}

@@ -1,0 +1,85 @@
+// Package guardedby is the guardedby analyzer's fixture: a miniature of the
+// runtime's locked structures with violations and every sanctioned pattern.
+package guardedby
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	// replicas is the live replica count.
+	replicas int // guarded by mu
+	// closed reports shutdown. // guarded by mu
+	closed bool
+	name   string // immutable after construction; unannotated
+}
+
+// get locks properly.
+func (p *pool) get() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replicas
+}
+
+// grow forgets the lock entirely.
+func (p *pool) grow() {
+	p.replicas++ // want `p\.replicas is guarded by mu`
+}
+
+// growLocked relies on the caller-holds-lock naming convention.
+func (p *pool) growLocked() {
+	p.replicas++
+}
+
+// evict declares the lock held by directive.
+//
+//llmqlint:holds mu
+func (p *pool) evict() {
+	p.replicas--
+}
+
+// stop touches one guarded field under the lock and another outside it on a
+// different receiver chain.
+type server struct {
+	rw sync.RWMutex
+	// tables is the registry. // guarded by rw
+	tables map[string]int
+}
+
+// read uses a read lock, which counts as holding rw.
+func (s *server) read(name string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.tables[name]
+}
+
+// leak reads the registry with no lock at all.
+func (s *server) leak() int {
+	return len(s.tables) // want `s\.tables is guarded by rw`
+}
+
+// newServer builds the value with a composite literal: initialization is
+// not an access, so constructors need no lock.
+func newServer() *server {
+	return &server{tables: make(map[string]int)}
+}
+
+// nested guards work through selector chains: outer.inner.replicas requires
+// outer.inner.mu.
+type wrapper struct {
+	inner *pool
+}
+
+func (w *wrapper) ok() int {
+	w.inner.mu.Lock()
+	defer w.inner.mu.Unlock()
+	return w.inner.replicas
+}
+
+func (w *wrapper) bad() int {
+	return w.inner.replicas // want `w\.inner\.replicas is guarded by mu`
+}
+
+type orphan struct {
+	// count names a guard that does not exist in the struct.
+	count int // guarded by missing // want `no field missing`
+}

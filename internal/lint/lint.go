@@ -1,0 +1,23 @@
+// Package lint registers the repo's invariant analyzers for the llmqlint
+// driver. Each analyzer encodes one contract the serving runtime depends on
+// but the compiler cannot check; internal/lint/README.md documents them and
+// the annotations that scope them.
+package lint
+
+import (
+	"repro/internal/lint/accounting"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/confined"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/errwrap"
+	"repro/internal/lint/guardedby"
+)
+
+// Analyzers is the full suite, in the order diagnostics are grouped.
+var Analyzers = []*analysis.Analyzer{
+	ctxflow.Analyzer,
+	guardedby.Analyzer,
+	confined.Analyzer,
+	accounting.Analyzer,
+	errwrap.Analyzer,
+}

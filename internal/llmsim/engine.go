@@ -99,6 +99,11 @@ func (c Config) maxTokens() int {
 }
 
 // Metrics summarizes a run.
+//
+// Counting fields are conserved accounting: the llmqlint accounting
+// analyzer rejects keyed literals that set some counters and omit others.
+//
+//llmqlint:accounting
 type Metrics struct {
 	// JCT is the job completion time: virtual seconds until the last request
 	// finishes. This is the paper's end-to-end query latency.

@@ -100,6 +100,11 @@ func (c Config) withDefaults() Config {
 func tokenLen(v string) int { return tokenizer.Count(v) }
 
 // StageResult reports one LLM invocation stage.
+//
+// Counting fields are conserved accounting: the llmqlint accounting
+// analyzer rejects keyed literals that set some counters and omit others.
+//
+//llmqlint:accounting
 type StageResult struct {
 	Spec Spec
 	// Metrics is the serving engine's accounting (JCT, hit rate, ...).
@@ -140,6 +145,7 @@ type Result struct {
 // policy and returns engine metrics plus per-row model outputs. It is
 // RunStageContext without cancellation.
 func RunStage(spec Spec, tbl *table.Table, cfg Config) (*StageResult, error) {
+	//llmqlint:detached -- no-cancellation convenience wrapper; callers wanting cancellation use RunStageContext
 	return RunStageContext(context.Background(), spec, tbl, cfg)
 }
 
@@ -154,7 +160,7 @@ func RunStageContext(ctx context.Context, spec Spec, tbl *table.Table, cfg Confi
 		return nil, err
 	}
 	if tbl.NumRows() == 0 {
-		return &StageResult{Spec: spec, Rows: 0}, nil
+		return &StageResult{Spec: spec}, nil
 	}
 	stageKey := StageKey(spec, tbl.Columns(), cfg)
 	sched, phc, solver, err := buildSchedule(tbl, cfg, stageKey)
@@ -350,6 +356,7 @@ func buildSchedule(tbl *table.Table, cfg Config, stageKey string) (*core.Schedul
 // runs over the passing rows; for all other types the query is one stage.
 // RAG queries expect the joined (question, contexts) table — see RunRAG.
 func Run(spec Spec, tbl *table.Table, cfg Config) (*Result, error) {
+	//llmqlint:detached -- no-cancellation convenience wrapper over RunContext
 	return RunContext(context.Background(), spec, tbl, cfg)
 }
 
@@ -417,6 +424,7 @@ func RunContext(ctx context.Context, spec Spec, tbl *table.Table, cfg Config) (*
 // RunRAG builds the retrieval-joined table for a RAG dataset and executes
 // its query.
 func RunRAG(spec Spec, d *datagen.RAG, cfg Config) (*Result, error) {
+	//llmqlint:detached -- no-cancellation convenience wrapper over RunRAGContext
 	return RunRAGContext(context.Background(), spec, d, cfg)
 }
 

@@ -70,7 +70,7 @@ func reorderKeyFor(stageKey string, tbl *table.Table) reorderKey {
 // copied: every consumer treats a core.Schedule as immutable.
 type ReorderCache struct {
 	mu  sync.Mutex
-	lru *lruMap[reorderKey, reorderEntry]
+	lru *lruMap[reorderKey, reorderEntry] // guarded by mu
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -145,7 +145,7 @@ func (c *ReorderCache) store(key reorderKey, sched *core.Schedule, phc int64) {
 type PromptCache struct {
 	tok *tokenizer.Tokenizer
 	mu  sync.Mutex
-	lru *lruMap[string, []tokenizer.Token]
+	lru *lruMap[string, []tokenizer.Token] // guarded by mu
 
 	hits   atomic.Int64
 	misses atomic.Int64

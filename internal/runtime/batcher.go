@@ -20,7 +20,7 @@ import (
 type batcher struct {
 	rt     *Runtime
 	mu     sync.Mutex
-	groups map[string]*group
+	groups map[string]*group // guarded by mu
 }
 
 // member is one statement's contribution to a group: the rows of its stage
@@ -156,6 +156,7 @@ func (b *batcher) run(g *group, members []*member) {
 	// coalesced batch may carry rows from several statements, and canceling
 	// one must not starve the others (a canceled member's reservations are
 	// settled by its detached resolver when this run lands — see RunStage).
+	//llmqlint:detached -- batch outlives any single member statement's context
 	st, err := query.RunStageContext(context.Background(), spec, combined, g.qcfg)
 	if err != nil {
 		for _, m := range members {

@@ -19,10 +19,10 @@ type inflight struct {
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int
-	entries  map[string]*cacheEntry
-	head     *cacheEntry // most recently used
-	tail     *cacheEntry // least recently used
-	inflight map[string]*inflight
+	entries  map[string]*cacheEntry // guarded by mu
+	head     *cacheEntry            // guarded by mu; most recently used
+	tail     *cacheEntry            // guarded by mu; least recently used
+	inflight map[string]*inflight   // guarded by mu
 }
 
 type cacheEntry struct {
@@ -116,6 +116,7 @@ func (c *resultCache) len() int {
 
 // --- intrusive LRU list (mu held) ---------------------------------------
 
+//llmqlint:holds mu
 func (c *resultCache) pushFront(e *cacheEntry) {
 	e.prev = nil
 	e.next = c.head
@@ -128,6 +129,7 @@ func (c *resultCache) pushFront(e *cacheEntry) {
 	}
 }
 
+//llmqlint:holds mu
 func (c *resultCache) unlink(e *cacheEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
@@ -142,6 +144,7 @@ func (c *resultCache) unlink(e *cacheEntry) {
 	e.prev, e.next = nil, nil
 }
 
+//llmqlint:holds mu
 func (c *resultCache) touch(e *cacheEntry) {
 	if c.head == e {
 		return

@@ -187,10 +187,10 @@ type Runtime struct {
 	c       counters
 
 	planMu sync.Mutex
-	plans  map[string]*sqlfront.Prepared
+	plans  map[string]*sqlfront.Prepared // guarded by planMu
 
 	closeMu sync.RWMutex
-	closed  bool
+	closed  bool // guarded by closeMu
 }
 
 type job struct {
@@ -275,6 +275,7 @@ func (rt *Runtime) CachedResults() int { return rt.cache.len() }
 // Submit admits one statement and returns immediately with its future.
 // Admission blocks while the queue is full; a closed runtime fails fast.
 func (rt *Runtime) Submit(sql string, opts Options) *Handle {
+	//llmqlint:detached -- no-cancellation convenience wrapper over SubmitContext
 	return rt.SubmitContext(context.Background(), sql, opts)
 }
 
@@ -323,6 +324,8 @@ func (rt *Runtime) Prepare(sql string) (*Stmt, error) {
 func (s *Stmt) SQL() string { return s.p.SQL() }
 
 // Submit admits the prepared statement and returns its future.
+//
+//llmqlint:detached -- no-cancellation convenience wrapper over SubmitContext
 func (s *Stmt) Submit(opts Options) *Handle { return s.SubmitContext(context.Background(), opts) }
 
 // SubmitContext is Submit with a statement-scoped context (see

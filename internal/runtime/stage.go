@@ -36,7 +36,7 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 	}
 	n := tbl.NumRows()
 	if n == 0 {
-		return &query.StageResult{Spec: spec, Rows: 0}, nil
+		return &query.StageResult{Spec: spec}, nil
 	}
 	if spec.RowKeys == nil {
 		rt.c.directStages.Add(1)
@@ -85,6 +85,9 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 		}
 	}
 
+	// SolverSeconds and PHC stay zero here unless this stage owns rows, in
+	// which case the batch result below overwrites them.
+	//llmqlint:partial
 	st := &query.StageResult{Spec: spec, Rows: n, ModelCalls: len(ownedRows)}
 	if len(ownedRows) > 0 {
 		m := rt.batcher.submit(fp, spec, tbl, ownedRows, qcfg)

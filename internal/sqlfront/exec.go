@@ -25,8 +25,8 @@ import (
 // already executing against the old one.
 type DB struct {
 	mu      sync.RWMutex
-	tables  map[string]*table.Table
-	version uint64
+	tables  map[string]*table.Table // guarded by mu
+	version uint64                  // guarded by mu
 }
 
 // NewDB returns an empty registry.
@@ -139,6 +139,7 @@ type Result struct {
 // kept (see Plan); cfg.Naive reverts to the unoptimized plan for comparison.
 // Exec is ExecContext without cancellation.
 func (db *DB) Exec(src string, cfg ExecConfig) (*Result, error) {
+	//llmqlint:detached -- no-cancellation convenience wrapper over ExecContext
 	return db.ExecContext(context.Background(), src, cfg)
 }
 
@@ -159,6 +160,7 @@ func (db *DB) ExecContext(ctx context.Context, src string, cfg ExecConfig) (*Res
 // requires a fresh Parse (or a Prepared statement, which keeps the bound
 // form and both plans for repeated execution).
 func (db *DB) ExecParsed(q *Query, cfg ExecConfig) (*Result, error) {
+	//llmqlint:detached -- no-cancellation convenience wrapper over ExecParsedContext
 	return db.ExecParsedContext(context.Background(), q, cfg)
 }
 

@@ -1,0 +1,56 @@
+package sqlfront
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseSQL drives the LLM-SQL parser with arbitrary byte strings. The
+// parser's contract is total: any input either yields a *Query or an error —
+// never a panic, never an unbounded loop — and on success the printed form
+// must itself re-parse (the AST the binder and planner consume is closed
+// under String/Parse). CI runs this briefly on every push
+// (-fuzztime=10s); longer local runs: go test -fuzz=FuzzParseSQL ./internal/sqlfront
+func FuzzParseSQL(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT a, b FROM t",
+		"SELECT LLM('Summarize: ', reviewcontent, movieinfo) FROM movies",
+		`SELECT movietitle FROM movies WHERE LLM('Suitable for kids?', movieinfo, genres) = 'Yes'`,
+		`SELECT a FROM t WHERE LLM('sentiment?', a) <> 'POSITIVE'`,
+		`SELECT AVG(LLM('Rate 1-5', reviewcontent)) AS AverageScore FROM movies`,
+		`SELECT COUNT(*) AS n, SUM(price), MIN(name), MAX(LLM('Rate', text)) FROM t`,
+		`SELECT a FROM t WHERE a = 'x' OR b <> 'y' AND NOT LLM('p', c) = 'Yes'`,
+		`SELECT a FROM t JOIN u ON t.id = u.id WHERE u.n >= 3 ORDER BY a DESC LIMIT 5`,
+		`SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1`,
+		"SELECT 'unterminated",
+		"SELECT ((((((((((a))))))))))",
+		"SELECT \x00 FROM \xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input: fine, as long as we got here
+		}
+		if q == nil {
+			t.Fatalf("Parse(%q) = nil, nil", src)
+		}
+		// Round-trip: the printed form of an accepted query must re-parse.
+		// (Printed forms are normalized, so we only require acceptance, not
+		// that a second print is byte-identical to the first.)
+		printed := q.String()
+		if !utf8.ValidString(printed) && utf8.ValidString(src) {
+			t.Fatalf("Parse(%q).String() is not valid UTF-8: %q", src, printed)
+		}
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("re-parse of printed form failed\n src: %q\nprinted: %q\n err: %v", src, printed, err)
+		}
+		if strings.TrimSpace(printed) == "" {
+			t.Fatalf("Parse(%q) accepted but prints empty", src)
+		}
+	})
+}

@@ -20,7 +20,7 @@ type Prepared struct {
 	src string
 
 	mu sync.Mutex
-	st *preparedState
+	st *preparedState // guarded by mu
 }
 
 // Prepare parses, binds, validates, and plans one LLM-SQL statement for
@@ -47,6 +47,7 @@ func (p *Prepared) SQL() string { return p.src }
 // schema, making the cached binding invalid). Exec is ExecContext without
 // cancellation.
 func (p *Prepared) Exec(cfg ExecConfig) (*Result, error) {
+	//llmqlint:detached -- no-cancellation convenience wrapper over ExecContext
 	return p.ExecContext(context.Background(), cfg)
 }
 

@@ -35,8 +35,8 @@ const chunk = 4
 // use. The zero value is not usable; call New.
 type Tokenizer struct {
 	mu     sync.RWMutex
-	ids    map[string]Token
-	pieces []string
+	ids    map[string]Token // guarded by mu
+	pieces []string         // guarded by mu
 }
 
 // New returns an empty tokenizer. Vocabulary entries are created on demand

@@ -281,6 +281,7 @@ func NewSQLDB() *SQLDB { return sqlfront.NewDB() }
 // cascades multiple LLM filters cheapest-first; set SQLConfig.Naive to true
 // to bypass the optimizations and measure their benefit.
 func ExecSQL(sql string, tableName string, t *Table, cfg SQLConfig) (*SQLResult, error) {
+	//llmqlint:detached -- no-cancellation convenience wrapper over ExecSQLContext
 	return ExecSQLContext(context.Background(), sql, tableName, t, cfg)
 }
 
