@@ -5,13 +5,16 @@
 //	llmqserve -addr :8080 -csv tickets=tickets.csv -dataset Movies -workers 8
 //	llmqserve -addr :8080 -csv tickets=tickets.csv -backend persistent
 //
-// Endpoints (JSON over POST unless noted):
+// Endpoints (JSON over POST unless noted; the full wire contract, including
+// the structured error envelope every endpoint returns on failure, is in
+// docs/API.md):
 //
-//	/v1/reorder   {table:{columns,rows,fds}, algorithm?} -> schedule + PHC
-//	/v1/estimate  {provider, hitOriginal, hitGGR}        -> cost savings
-//	/v1/simulate  {table, prompt, policy?}               -> serving metrics
-//	/v1/sql       {sql, naive?, policy?}                 -> result relation +
-//	              per-statement serving stats + fleet-wide runtime metrics
+//	/v1/reorder   {table:{columns,rows,fds}, algorithm?}      -> schedule + PHC
+//	/v1/estimate  {provider, hitOriginal, hitGGR}             -> cost savings
+//	/v1/simulate  {table, prompt, policy?}                    -> serving metrics
+//	/v1/sql       {sql, client?, class?, deadlineMs?,         -> result relation +
+//	               options: {naive?, policy?}}                   per-statement stats +
+//	                                                             fleet metrics
 //	/v1/metrics   (GET) fleet-wide runtime metrics snapshot
 //	/healthz      (GET)
 //
@@ -24,6 +27,18 @@
 // model calls twice. Each statement is scoped to its HTTP request's context,
 // so a disconnecting client cancels its statement. Without registrations the
 // endpoint answers 503 and the three stateless endpoints work as before.
+//
+// Admission is multi-tenant: each statement names a client (default "anon")
+// and a service class. Interactive statements get a high deficit-round-robin
+// weight and the short -batch-window; batch-class statements get a low
+// weight and the longer -batch-class-window, and an interactive statement
+// joining a batch-held coalescing window closes it early. -fifo reverts to
+// the old anonymous first-come-first-served queue for A/B runs. -quota-calls
+// and -quota-tokens arm per-client post-paid token buckets (burst caps via
+// -quota-call-burst / -quota-token-burst): a client that overdraws gets 429
+// with a Retry-After header until its buckets refill. The deprecated
+// top-level "naive"/"policy" request fields still execute but answer with a
+// "deprecated" warning; use the "options" object.
 //
 // -backend selects the serving target behind the whole stack (the
 // llmq.Backend seam): "sim" builds one confined engine per batch (the
@@ -43,7 +58,8 @@
 // Example:
 //
 //	curl -s localhost:8080/v1/sql -d \
-//	  '{"sql":"SELECT region, COUNT(*) AS n FROM tickets GROUP BY region HAVING COUNT(*) > 3 ORDER BY n DESC, region"}'
+//	  '{"sql":"SELECT region, COUNT(*) AS n FROM tickets GROUP BY region HAVING COUNT(*) > 3 ORDER BY n DESC, region",
+//	    "client":"dashboard-7","class":"interactive","deadlineMs":2000,"options":{"policy":"cache-ggr"}}'
 package main
 
 import (
@@ -85,7 +101,13 @@ func main() {
 		scale       = flag.Float64("scale", 0.05, "dataset scale when -dataset is used")
 		seed        = flag.Int64("seed", 1, "dataset seed")
 		workers     = flag.Int("workers", 4, "concurrent statement executors")
-		window      = flag.Duration("batch-window", 2*time.Millisecond, "cross-query batch coalescing window")
+		window      = flag.Duration("batch-window", 2*time.Millisecond, "cross-query batch coalescing window for interactive statements")
+		classWindow = flag.Duration("batch-class-window", 0, "coalescing window for batch-class statements (default 10x -batch-window)")
+		fifo        = flag.Bool("fifo", false, "revert admission to anonymous FIFO (disables weighted-fair scheduling; for A/B runs)")
+		quotaCalls  = flag.Float64("quota-calls", 0, "per-client model-call quota in calls/sec (0 = unlimited)")
+		quotaCallB  = flag.Float64("quota-call-burst", 0, "call-quota burst capacity (default max(1, -quota-calls))")
+		quotaToks   = flag.Float64("quota-tokens", 0, "per-client prompt-token quota in tokens/sec (0 = unlimited)")
+		quotaTokB   = flag.Float64("quota-token-burst", 0, "token-quota burst capacity (default max(1, -quota-tokens))")
 		cache       = flag.Int("cache", 65536, "result cache capacity in entries (negative disables)")
 		backendName = flag.String("backend", "sim", "serving backend: sim (one engine per batch), persistent (long-lived engine replicas per stage, prefix cache survives between batches), or sharded-sim/sharded-persistent (data-parallel fan-out)")
 		shards      = flag.Int("shards", 1, "data-parallel shards per batch: >1 wraps -backend in a sharded fan-out (sharded-* backends default to 4)")
@@ -126,13 +148,25 @@ func main() {
 			db.Register(name, t)
 		}
 		rt = runtime.New(db, runtime.Config{
-			Workers:       *workers,
-			BatchWindow:   *window,
-			CacheCapacity: *cache,
-			Backend:       be,
+			Workers:          *workers,
+			BatchWindow:      *window,
+			BatchClassWindow: *classWindow,
+			FIFOAdmission:    *fifo,
+			CacheCapacity:    *cache,
+			Backend:          be,
+			DefaultQuota: runtime.Quota{
+				CallsPerSec:  *quotaCalls,
+				CallBurst:    *quotaCallB,
+				TokensPerSec: *quotaToks,
+				TokenBurst:   *quotaTokB,
+			},
 		})
-		log.Printf("llmqserve: /v1/sql serving tables %s (%d workers, %s batch window, %s backend)",
-			strings.Join(db.Tables(), ", "), *workers, *window, *backendName)
+		admission := "weighted-fair admission"
+		if *fifo {
+			admission = "FIFO admission"
+		}
+		log.Printf("llmqserve: /v1/sql serving tables %s (%d workers, %s batch window, %s backend, %s)",
+			strings.Join(db.Tables(), ", "), *workers, *window, *backendName, admission)
 	} else {
 		log.Printf("llmqserve: no tables registered; /v1/sql disabled (use -csv/-dataset)")
 	}

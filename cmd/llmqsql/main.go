@@ -32,6 +32,13 @@
 // data-parallel fan-out) and -shards N composes a fan-out of N engine
 // replicas with any of them. None of these change results; serving
 // statistics print on stderr.
+//
+// Statements run on the same multi-tenant runtime llmqserve serves from, so
+// the identity knobs carry through: -client names the tenant the statement
+// is accounted to and -class picks its service class ("interactive" or
+// "batch" — the class selects the admission weight and coalescing window a
+// server would apply; for this one-shot CLI it is mostly an accounting
+// label). Neither changes results.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/datagen"
 	"repro/internal/query"
+	"repro/internal/runtime"
 	"repro/internal/sqlfront"
 	"repro/internal/table"
 )
@@ -67,6 +75,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "dataset seed")
 		policy  = flag.String("policy", "cache-ggr", "no-cache, cache-original, or cache-ggr")
 		naive   = flag.Bool("naive", false, "disable the logical planner (no pushdown, dedup, or cost-ordered filters)")
+		client  = flag.String("client", "", "client identity the statement is accounted to (default anonymous)")
+		class   = flag.String("class", "", "service class: interactive (default) or batch")
 		beName  = flag.String("backend", "sim", "serving backend: sim, persistent, sharded-sim, or sharded-persistent")
 		shards  = flag.Int("shards", 1, "data-parallel shards per batch: >1 wraps -backend in a sharded fan-out (sharded-* backends default to 4)")
 		maxRows = flag.Int("max-rows", 20, "result rows to print (0 = all)")
@@ -128,8 +138,22 @@ func main() {
 	}
 	defer be.Close()
 
-	cfg := sqlfront.ExecConfig{Config: query.Config{Policy: query.Policy(*policy), Backend: be}, Naive: *naive}
-	res, err := db.Exec(flag.Arg(0), cfg)
+	cls, err := runtime.ParseClass(*class)
+	if err != nil {
+		fatal(err)
+	}
+
+	// One-shot statements still go through the serving runtime, not straight
+	// at db.Exec: the runtime is what carries client identity and service
+	// class, so a CLI run is accounted exactly like a server request.
+	rt := runtime.New(db, runtime.Config{Workers: 1, BatchWindow: -1, Backend: be})
+	defer rt.Close()
+	res, err := rt.Exec(flag.Arg(0), runtime.Options{
+		Naive:  *naive,
+		Policy: query.Policy(*policy),
+		Client: runtime.ClientID(*client),
+		Class:  cls,
+	})
 	if err != nil {
 		fatal(err)
 	}

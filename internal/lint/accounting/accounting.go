@@ -49,6 +49,8 @@ var knownTypes = map[string]bool{
 	"repro/internal/query.StageResult":     true,
 	"repro/internal/llmsim.Metrics":        true,
 	"repro/internal/kvcache.Stats":         true,
+	"repro/internal/runtime.ClientMetrics": true,
+	"repro/internal/runtime.WaitHistogram": true,
 }
 
 func run(pass *analysis.Pass) error {

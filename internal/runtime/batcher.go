@@ -12,11 +12,21 @@ import (
 // batcher coalesces pending LLM calls from concurrent statements into shared
 // engine runs. Submissions are grouped by stage fingerprint (same prompt,
 // schema, answer alphabet, and serving config — see stageFingerprint); a
-// group stays open for the configured batch window, or until it reaches
-// MaxBatchRows, then flushes as one GGR-reordered stage over the union of
-// its members' rows. Rows from different statements that share the prompt
-// prefix are therefore scheduled next to each other, so the prefix cache
-// hits across queries, not just within one.
+// group stays open for its batch window, or until it reaches MaxBatchRows,
+// then flushes as one GGR-reordered stage over the union of its members'
+// rows. Rows from different statements that share the prompt prefix are
+// therefore scheduled next to each other, so the prefix cache hits across
+// queries, not just within one.
+//
+// The window is SLO-aware: each member buys the window its service class
+// configures (interactive short, batch-class long — Config.BatchWindow and
+// BatchClassWindow), clamped by its statement deadline, and a group closes
+// at the NEAREST horizon any member has asked for. So batch-class openers
+// hold a window open to coalesce aggressively, but the moment an interactive
+// statement (or one with a tight deadline) joins, the close is pulled
+// forward to its horizon — throughput traffic never taxes latency traffic
+// with its own window. Every pull-forward is counted in
+// Metrics.BatchWindowsShortened.
 type batcher struct {
 	rt     *Runtime
 	mu     sync.Mutex
@@ -46,6 +56,11 @@ type group struct {
 	members []*member
 	rows    int
 	flushed bool
+	// fireAt / timer are the group's scheduled close. fireAt only ever moves
+	// earlier (a joiner with a nearer horizon resets the timer); nil timer
+	// means the group flushes inline (window disabled). Guarded by batcher.mu.
+	fireAt time.Time
+	timer  *time.Timer
 }
 
 func newBatcher(rt *Runtime) *batcher {
@@ -53,24 +68,55 @@ func newBatcher(rt *Runtime) *batcher {
 }
 
 // submit enqueues rows of tbl under fp and returns the member handle; the
-// caller blocks on member.done. Never called with an empty row set.
-func (b *batcher) submit(fp string, spec query.Spec, tbl *table.Table, rows []int, qcfg query.Config) *member {
+// caller blocks on member.done. Never called with an empty row set. ctx is
+// the submitting statement's context: its service class picks the window
+// this member is willing to wait, and its deadline clamps it.
+func (b *batcher) submit(ctx context.Context, fp string, spec query.Spec, tbl *table.Table, rows []int, qcfg query.Config) *member {
 	m := &member{spec: spec, tbl: tbl, rows: rows, done: make(chan struct{})}
-	window := b.rt.cfg.batchWindow()
+	window := b.rt.cfg.windowFor(classFrom(ctx))
+	now := time.Now()
+	fire := now.Add(window)
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := dl.Sub(now); remaining <= 0 {
+			fire = now // already expired: flush inline, the caller will see ctx.Err
+		} else if clamp := dl.Add(-remaining / 5); clamp.Before(fire) {
+			// Close before the deadline, not at it: keep a slice of the
+			// budget for the engine run so the statement can still finish.
+			fire = clamp
+		}
+	}
+	immediate := window <= 0 || !fire.After(now)
+	shortened := false
 	b.mu.Lock()
 	g := b.groups[fp]
 	if g == nil {
 		g = &group{fp: fp, cols: tbl.Columns(), qcfg: qcfg}
 		b.groups[fp] = g
-		if window > 0 {
-			time.AfterFunc(window, func() { b.flush(g) })
+		if !immediate {
+			g.fireAt = fire
+			g.timer = time.AfterFunc(fire.Sub(now), func() { b.flush(g) })
 		}
+	} else if g.timer != nil && fire.Before(g.fireAt) {
+		// This member's horizon is nearer than the group's scheduled close:
+		// pull the close forward (an interactive statement joining a
+		// batch-class window, or a deadline inside it). Flush is idempotent,
+		// so losing a race with the old timer firing is harmless.
+		g.fireAt = fire
+		if immediate {
+			g.timer.Stop()
+		} else {
+			g.timer.Reset(time.Until(fire))
+		}
+		shortened = true
 	}
 	g.members = append(g.members, m)
 	g.rows += len(rows)
 	full := b.rt.cfg.maxBatchRows() > 0 && g.rows >= b.rt.cfg.maxBatchRows()
 	b.mu.Unlock()
-	if full || window <= 0 {
+	if shortened {
+		b.rt.c.batchWindowsShortened.Add(1)
+	}
+	if full || immediate {
 		b.flush(g)
 	}
 	return m
@@ -86,6 +132,9 @@ func (b *batcher) flush(g *group) {
 		return
 	}
 	g.flushed = true
+	if g.timer != nil {
+		g.timer.Stop()
+	}
 	if b.groups[g.fp] == g {
 		delete(b.groups, g.fp)
 	}

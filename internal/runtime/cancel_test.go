@@ -76,16 +76,26 @@ func TestCancelSurvivorCompletes(t *testing.T) {
 
 // TestCancelDeadlineExceeded covers the deadline flavor: a statement whose
 // context expires mid-wait returns DeadlineExceeded and counts as canceled.
+// The deadline has to expire while the statement is still queued: once it
+// executes, the SLO-aware batcher closes windows early for deadlined members
+// (see TestQoSDeadlineClosesWindowEarly), so a parked statement would finish
+// in time instead of expiring.
 func TestCancelDeadlineExceeded(t *testing.T) {
 	db := newDB(24)
 	rt := New(db, Config{Workers: 1, BatchWindow: 600 * time.Millisecond})
 	defer rt.Close()
 
+	// Occupy the single worker (parked in its long batch window), then
+	// submit with a deadline that expires before the worker frees up.
+	blocker := rt.Submit(dashboardStatements[1], Options{})
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
 	defer cancel()
 	_, err := rt.ExecContext(ctx, dashboardStatements[0], Options{})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatalf("blocker failed: %v", err)
 	}
 	if m := rt.Metrics(); m.StatementsCanceled != 1 {
 		t.Errorf("statements canceled = %d, want 1", m.StatementsCanceled)

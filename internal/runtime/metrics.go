@@ -29,6 +29,9 @@ type counters struct {
 	promptTokens    atomic.Int64
 	matchedTokens   atomic.Int64
 	prefilledTokens atomic.Int64
+
+	quotaRejections       atomic.Int64
+	batchWindowsShortened atomic.Int64
 }
 
 // Metrics is a point-in-time snapshot of the runtime's accounting. The
@@ -108,6 +111,62 @@ type Metrics struct {
 	PromptTokens    int64 `json:"promptTokens"`
 	MatchedTokens   int64 `json:"matchedTokens"`
 	PrefilledTokens int64 `json:"prefilledTokens"`
+
+	// QuotaRejections counts statements refused admission because their
+	// client's quota buckets were overdrawn (the /v1 429 path). They are NOT
+	// part of StatementsSubmitted — a rejected statement never entered the
+	// pipeline.
+	QuotaRejections int64 `json:"quotaRejections"`
+	// BatchWindowsShortened counts batch windows whose close was pulled
+	// forward by a later joiner with a nearer horizon — an interactive
+	// statement landing in a batch-class window, or a statement deadline
+	// inside the window. It is the observable proof the batcher is SLO-aware.
+	BatchWindowsShortened int64 `json:"batchWindowsShortened"`
+
+	// Clients breaks the fleet accounting down by tenant; nil until the
+	// first statement is admitted. Keys are normalized ClientIDs (anonymous
+	// traffic accounts under DefaultClient).
+	Clients map[ClientID]ClientMetrics `json:"clients,omitempty"`
+	// QueueWait is the admission-queue wait histogram by service class; nil
+	// until a statement has been through the queue. Under a fair scheduler
+	// the interactive histogram stays low-bucketed even when the batch one
+	// grows a tail — the QoS property in one map.
+	QueueWait map[Class]WaitHistogram `json:"queueWait,omitempty"`
+}
+
+// ClientMetrics is one client's slice of the fleet accounting.
+//
+//llmqlint:accounting
+type ClientMetrics struct {
+	// Statements counts the client's admitted statements that reached a
+	// terminal state; Canceled the subset whose context died; QuotaRejections
+	// the refused admissions (not part of Statements).
+	Statements      int64 `json:"statements"`
+	Canceled        int64 `json:"canceled"`
+	QuotaRejections int64 `json:"quotaRejections"`
+	// LLMCalls / PromptTokens are the model rows and prompt tokens the
+	// client's statements were charged — coalesced batches are attributed
+	// proportionally by row share, so the fleet total is conserved.
+	LLMCalls     int64 `json:"llmCalls"`
+	PromptTokens int64 `json:"promptTokens"`
+	// JCTSeconds / QueueWaitSeconds sum execution and admission-queue time
+	// over the client's statements.
+	JCTSeconds       float64 `json:"jctSeconds"`
+	QueueWaitSeconds float64 `json:"queueWaitSeconds"`
+}
+
+// WaitHistogram is a fixed-bucket admission-wait distribution. Buckets are
+// cumulative-exclusive counts (a 5ms wait lands in Le10ms only).
+//
+//llmqlint:accounting
+type WaitHistogram struct {
+	Count       int64 `json:"count"`
+	TotalMicros int64 `json:"totalMicros"`
+	Le1ms       int64 `json:"le1ms"`
+	Le10ms      int64 `json:"le10ms"`
+	Le100ms     int64 `json:"le100ms"`
+	Le1s        int64 `json:"le1s"`
+	Over1s      int64 `json:"over1s"`
 }
 
 // HitRate is the fleet-wide prompt-token-weighted prefix-cache hit rate.
@@ -141,5 +200,8 @@ func (c *counters) snapshot() Metrics {
 		PromptTokens:        c.promptTokens.Load(),
 		MatchedTokens:       c.matchedTokens.Load(),
 		PrefilledTokens:     c.prefilledTokens.Load(),
+
+		QuotaRejections:       c.quotaRejections.Load(),
+		BatchWindowsShortened: c.batchWindowsShortened.Load(),
 	}
 }

@@ -6,11 +6,17 @@
 //
 // Architecture, top to bottom:
 //
-//	Submit/Exec/Prepare                    (statement API)
-//	      │
-//	admission queue ──► worker pool        (bounded concurrency; each worker
-//	      │                                 runs one statement end to end
-//	      │                                 through sqlfront's planner)
+//	Submit/Exec/Prepare                    (statement API; Options carries the
+//	      │                                 tenant's ClientID and service Class)
+//	quota gate                             (per-client token/call buckets;
+//	      │                                 overdrawn clients get a QuotaError —
+//	      │                                 429 + Retry-After on the wire)
+//	      ▼
+//	fair admission queue ──► worker pool   (deficit-round-robin over
+//	      │                                 per-(client, class) flows: a heavy
+//	      │                                 analytics tenant cannot starve an
+//	      │                                 interactive one; workers bound
+//	      │                                 concurrency as before)
 //	      ▼
 //	plan cache                             (sql text → Prepared: parse, bind,
 //	      │                                 validate, and plan exactly once)
@@ -22,10 +28,13 @@
 //	      ├─ inflight dedup  identical concurrent calls run once; later
 //	      │                  statements piggyback on the first
 //	      └─ micro-batcher   pending misses that share a stage fingerprint
-//	            │            coalesce for a batch window, then run as ONE
-//	            │            GGR-reordered stage over the union of rows
-//	            │            (identical repeated windows skip the solve via
-//	            ▼            the reorder cache; prompts tokenize via a memo)
+//	            │            coalesce for an SLO-aware batch window —
+//	            │            interactive statements close it early, batch-class
+//	            │            statements hold it open longer to coalesce more,
+//	            │            and a statement deadline closes it in time — then
+//	            │            run as ONE GGR-reordered stage over the union of
+//	            │            rows (identical repeated windows skip the solve
+//	            ▼            via the reorder cache; prompts use a token memo)
 //	      backend.Backend    (the pluggable engine seam: Sim confines one
 //	                          engine + kvcache to each coalesced run, the
 //	                          paper's setting; Persistent keeps a pool of
@@ -64,7 +73,6 @@ package runtime
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
@@ -85,8 +93,34 @@ type Config struct {
 	// waits for concurrent statements to join its batch. Longer windows
 	// coalesce more at the cost of added latency; negative disables
 	// coalescing (every stage flushes immediately, dedup and caching still
-	// apply).
+	// apply). This is the window interactive-class statements pay; an
+	// interactive statement joining a window scheduled further out (by a
+	// batch-class opener) pulls its close forward to this horizon.
 	BatchWindow time.Duration
+	// BatchClassWindow is the coalescing window for batch-class statements,
+	// which prefer throughput over latency: they hold a batch open longer so
+	// more concurrent calls ride one engine run. Zero defaults to 10×
+	// BatchWindow; negative makes batch-class flush immediately too. A
+	// statement deadline (context deadline) closer than the window always
+	// closes the batch in time.
+	BatchClassWindow time.Duration
+	// InteractiveWeight and BatchWeight are the admission scheduler's DRR
+	// quantums per class (defaults 4 and 1): of every 5 admission slots
+	// under contention, interactive flows get 4. Each distinct (client,
+	// class) pair is its own flow, so no tenant — and no tenant's batch
+	// backlog — can starve another's interactive traffic.
+	InteractiveWeight int
+	BatchWeight       int
+	// FIFOAdmission reverts the admission scheduler to PR 3's anonymous
+	// single FIFO — the A/B baseline for the QoS acceptance test, in the
+	// Naive tradition.
+	FIFOAdmission bool
+	// DefaultQuota, when enabled, bounds every client's model-call and
+	// prompt-token draw (post-paid token buckets; see Quota). ClientQuotas
+	// overrides it per client. Statements over quota fail admission with a
+	// *QuotaError carrying the retry horizon.
+	DefaultQuota Quota
+	ClientQuotas map[ClientID]Quota
 	// MaxBatchRows flushes a batch early once it holds this many rows
 	// (default 4096; negative disables the cap).
 	MaxBatchRows int
@@ -142,6 +176,35 @@ func (c Config) batchWindow() time.Duration {
 	return 2 * time.Millisecond
 }
 
+// windowFor resolves the coalescing window a statement's class buys.
+func (c Config) windowFor(class Class) time.Duration {
+	w := c.batchWindow()
+	if class != ClassBatch {
+		return w
+	}
+	if c.BatchClassWindow != 0 {
+		return c.BatchClassWindow
+	}
+	if w <= 0 {
+		return w
+	}
+	return 10 * w
+}
+
+func (c Config) interactiveWeight() int {
+	if c.InteractiveWeight > 0 {
+		return c.InteractiveWeight
+	}
+	return 4
+}
+
+func (c Config) batchWeight() int {
+	if c.BatchWeight > 0 {
+		return c.BatchWeight
+	}
+	return 1
+}
+
 func (c Config) maxBatchRows() int {
 	if c.MaxBatchRows != 0 {
 		return c.MaxBatchRows
@@ -170,6 +233,13 @@ type Options struct {
 	Naive bool
 	// Policy overrides the runtime's base scheduling policy ("" keeps it).
 	Policy query.Policy
+	// Client names the tenant this statement runs for: its fair-queue flow,
+	// quota bucket, and metrics row. Empty is normalized to DefaultClient.
+	Client ClientID
+	// Class is the statement's service class (empty means
+	// ClassInteractive): it selects the admission weight and the
+	// micro-batcher's coalescing window.
+	Class Class
 }
 
 // Runtime is a concurrent LLM-SQL server over one table registry. Create it
@@ -178,7 +248,7 @@ type Options struct {
 type Runtime struct {
 	db      *sqlfront.DB
 	cfg     Config
-	queue   chan *job
+	queue   *fairQueue
 	wg      sync.WaitGroup
 	cache   *resultCache
 	batcher *batcher
@@ -186,18 +256,35 @@ type Runtime struct {
 	prompts *query.PromptCache
 	c       counters
 
+	// waitInteractive / waitBatch are the admission-queue wait histograms
+	// by service class (atomic internals; no lock).
+	waitInteractive waitHist
+	waitBatch       waitHist
+
 	planMu sync.Mutex
 	plans  map[string]*sqlfront.Prepared // guarded by planMu
+
+	quotaMu sync.Mutex
+	quotas  map[ClientID]*quotaBucket // guarded by quotaMu
+
+	clientMu sync.Mutex
+	clients  map[ClientID]*clientCounters // guarded by clientMu
 
 	closeMu sync.RWMutex
 	closed  bool // guarded by closeMu
 }
 
+// errClosed is the submission error of a closed runtime.
+var errClosed = errors.New("runtime: closed")
+
 type job struct {
-	ctx  context.Context
-	p    *sqlfront.Prepared
-	opts Options
-	h    *Handle
+	ctx        context.Context
+	p          *sqlfront.Prepared
+	opts       Options
+	h          *Handle
+	client     ClientID
+	class      Class
+	enqueuedAt time.Time
 }
 
 // Handle is a pending statement's future.
@@ -207,10 +294,26 @@ type Handle struct {
 	err  error
 }
 
-// Wait blocks until the statement finishes and returns its result.
+// Wait blocks until the statement finishes and returns its result. It is
+// WaitContext without a way to give up.
 func (h *Handle) Wait() (*sqlfront.Result, error) {
-	<-h.done
-	return h.res, h.err
+	//llmqlint:detached -- no-cancellation convenience wrapper over WaitContext
+	return h.WaitContext(context.Background())
+}
+
+// WaitContext blocks until the statement finishes or ctx dies, whichever
+// comes first. Abandoning the wait does not abandon the statement: it keeps
+// running under its own submission context, its result stays settled on the
+// handle (a later Wait still returns it), and no goroutine is parked on the
+// caller's behalf — so a caller can stop caring about a future without
+// leaking its result.
+func (h *Handle) WaitContext(ctx context.Context) (*sqlfront.Result, error) {
+	select {
+	case <-h.done:
+		return h.res, h.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // New starts a runtime over db. The caller owns db's registrations (tables
@@ -218,11 +321,13 @@ func (h *Handle) Wait() (*sqlfront.Result, error) {
 // release its workers.
 func New(db *sqlfront.DB, cfg Config) *Runtime {
 	rt := &Runtime{
-		db:    db,
-		cfg:   cfg,
-		queue: make(chan *job, cfg.queueDepth()),
-		cache: newResultCache(cfg.cacheCapacity()),
-		plans: make(map[string]*sqlfront.Prepared),
+		db:      db,
+		cfg:     cfg,
+		queue:   newFairQueue(cfg.queueDepth(), cfg.interactiveWeight(), cfg.batchWeight(), cfg.FIFOAdmission),
+		cache:   newResultCache(cfg.cacheCapacity()),
+		plans:   make(map[string]*sqlfront.Prepared),
+		quotas:  make(map[ClientID]*quotaBucket),
+		clients: make(map[ClientID]*clientCounters),
 	}
 	if cfg.ReorderCacheCapacity >= 0 {
 		rt.reorder = query.NewReorderCache(cfg.ReorderCacheCapacity)
@@ -257,7 +362,74 @@ func (rt *Runtime) Metrics() Metrics {
 		s := sh.Stats()
 		m.ShardedBatches, m.ShardRuns, m.ShardJCTSeconds = s.ShardedBatches, s.ShardRuns, s.ShardJCTSeconds
 	}
+	rt.clientMu.Lock()
+	if len(rt.clients) > 0 {
+		m.Clients = make(map[ClientID]ClientMetrics, len(rt.clients))
+		for id, cc := range rt.clients {
+			m.Clients[id] = ClientMetrics{
+				Statements:       cc.statements,
+				Canceled:         cc.canceled,
+				QuotaRejections:  cc.quotaRejections,
+				LLMCalls:         cc.llmCalls,
+				PromptTokens:     cc.promptTokens,
+				JCTSeconds:       float64(cc.jctMicros) / 1e6,
+				QueueWaitSeconds: float64(cc.queueWaitMicros) / 1e6,
+			}
+		}
+	}
+	rt.clientMu.Unlock()
+	qw := make(map[Class]WaitHistogram, 2)
+	if h := rt.waitInteractive.snapshot(); h.Count > 0 {
+		qw[ClassInteractive] = h
+	}
+	if h := rt.waitBatch.snapshot(); h.Count > 0 {
+		qw[ClassBatch] = h
+	}
+	if len(qw) > 0 {
+		m.QueueWait = qw
+	}
 	return m
+}
+
+// waitFor picks the class's admission-wait histogram.
+func (rt *Runtime) waitFor(class Class) *waitHist {
+	if class == ClassBatch {
+		return &rt.waitBatch
+	}
+	return &rt.waitInteractive
+}
+
+// clientLocked resolves (creating on first sight) a client's counters.
+//
+//llmqlint:holds clientMu
+func (rt *Runtime) clientLocked(id ClientID) *clientCounters {
+	cc := rt.clients[id]
+	if cc == nil {
+		cc = &clientCounters{}
+		rt.clients[id] = cc
+	}
+	return cc
+}
+
+// quotaFor resolves the client's quota bucket, nil when unlimited. Buckets
+// are created lazily so an open-ended client population cannot preallocate
+// memory; the map is bounded by clients actually seen.
+func (rt *Runtime) quotaFor(client ClientID) *quotaBucket {
+	q, ok := rt.cfg.ClientQuotas[client]
+	if !ok {
+		q = rt.cfg.DefaultQuota
+	}
+	if !q.Enabled() {
+		return nil
+	}
+	rt.quotaMu.Lock()
+	defer rt.quotaMu.Unlock()
+	b := rt.quotas[client]
+	if b == nil {
+		b = newQuotaBucket(q, time.Now())
+		rt.quotas[client] = b
+	}
+	return b
 }
 
 // servingBackend resolves the backend statements actually run on, mirroring
@@ -354,7 +526,7 @@ func (rt *Runtime) Close() {
 		return
 	}
 	rt.closed = true
-	close(rt.queue)
+	rt.queue.close()
 	rt.closeMu.Unlock()
 	rt.wg.Wait()
 	rt.batcher.flushAll()
@@ -398,27 +570,47 @@ func (rt *Runtime) prepared(sql string) (*sqlfront.Prepared, error) {
 
 func (rt *Runtime) submitPrepared(ctx context.Context, p *sqlfront.Prepared, opts Options) *Handle {
 	h := &Handle{done: make(chan struct{})}
+	client := opts.Client.orDefault()
+	class := opts.Class.orDefault()
 	rt.closeMu.RLock()
+	defer rt.closeMu.RUnlock()
 	if rt.closed {
-		rt.closeMu.RUnlock()
-		h.err = fmt.Errorf("runtime: closed")
+		h.err = errClosed
 		close(h.done)
 		return h
 	}
+	if b := rt.quotaFor(client); b != nil {
+		if retry, ok := b.admit(time.Now()); !ok {
+			// Over quota: reject before the statement takes a queue slot.
+			// Not counted as submitted — the statement never entered the
+			// pipeline, so submitted == done stays an invariant of admitted
+			// work only.
+			rt.c.quotaRejections.Add(1)
+			rt.clientMu.Lock()
+			rt.clientLocked(client).quotaRejections++
+			rt.clientMu.Unlock()
+			h.err = &QuotaError{Client: client, RetryAfter: retry}
+			close(h.done)
+			return h
+		}
+	}
 	rt.c.statementsSubmitted.Add(1)
-	select {
-	case rt.queue <- &job{ctx: ctx, p: p, opts: opts, h: h}:
-	case <-ctx.Done():
-		// Admission blocked on a full queue and the statement died waiting:
-		// fail fast instead of holding the caller (and backpressure slot)
-		// until a worker frees up. Counted as done so submitted == done
-		// still holds once the fleet drains.
+	j := &job{ctx: ctx, p: p, opts: opts, h: h, client: client, class: class, enqueuedAt: time.Now()}
+	if err := rt.queue.push(ctx, j); err != nil {
+		// Admission blocked on a full queue and the statement died waiting
+		// (or the runtime closed underneath it): fail fast instead of
+		// holding the caller (and backpressure slot) until a worker frees
+		// up. Counted as done so submitted == done still holds once the
+		// fleet drains.
 		rt.c.statementsDone.Add(1)
-		rt.c.statementsCanceled.Add(1)
-		h.err = ctx.Err()
+		if errors.Is(err, errClosed) {
+			rt.c.statementsFailed.Add(1)
+		} else {
+			rt.c.statementsCanceled.Add(1)
+		}
+		h.err = err
 		close(h.done)
 	}
-	rt.closeMu.RUnlock()
 	return h
 }
 
@@ -436,10 +628,17 @@ func failedHandle(err error) *Handle {
 // never wedges the pool.
 func (rt *Runtime) worker() {
 	defer rt.wg.Done()
-	for j := range rt.queue {
+	for {
+		j, ok := rt.queue.pop()
+		if !ok {
+			return
+		}
+		wait := time.Since(j.enqueuedAt)
+		rt.waitFor(j.class).observe(wait)
 		if err := j.ctx.Err(); err != nil {
 			rt.c.statementsDone.Add(1)
 			rt.c.statementsCanceled.Add(1)
+			rt.settleClient(j, nil, wait, 0, true)
 			j.h.err = err
 			close(j.h.done)
 			continue
@@ -459,16 +658,43 @@ func (rt *Runtime) worker() {
 			cfg.PromptCache = rt.prompts
 		}
 		cfg.StageRunner = rt.RunStage
-		res, err := j.p.ExecContext(j.ctx, cfg)
+		si := &stmtInfo{client: j.client, class: j.class}
+		start := time.Now()
+		res, err := j.p.ExecContext(withStmtInfo(j.ctx, si), cfg)
+		jct := time.Since(start)
 		rt.c.statementsDone.Add(1)
+		canceled := false
 		switch {
 		case err == nil:
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			rt.c.statementsCanceled.Add(1)
+			canceled = true
 		default:
 			rt.c.statementsFailed.Add(1)
+		}
+		rt.settleClient(j, si, wait, jct, canceled)
+		if b := rt.quotaFor(j.client); b != nil {
+			b.debit(time.Now(), si.calls, si.tokens)
 		}
 		j.h.res, j.h.err = res, err
 		close(j.h.done)
 	}
+}
+
+// settleClient folds one finished (or queue-canceled) statement into its
+// client's accounting row. si is nil when the statement died before running.
+func (rt *Runtime) settleClient(j *job, si *stmtInfo, wait, jct time.Duration, canceled bool) {
+	rt.clientMu.Lock()
+	cc := rt.clientLocked(j.client)
+	cc.statements++
+	if canceled {
+		cc.canceled++
+	}
+	if si != nil {
+		cc.llmCalls += si.calls
+		cc.promptTokens += si.tokens
+	}
+	cc.jctMicros += jct.Microseconds()
+	cc.queueWaitMicros += wait.Microseconds()
+	rt.clientMu.Unlock()
 }

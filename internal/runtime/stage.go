@@ -51,6 +51,10 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 		rt.c.promptTokens.Add(st.Metrics.PromptTokens)
 		rt.c.matchedTokens.Add(st.Metrics.MatchedTokens)
 		rt.c.prefilledTokens.Add(st.Metrics.PrefilledTokens)
+		if si := stmtInfoFrom(ctx); si != nil {
+			si.calls += int64(st.ModelCalls)
+			si.tokens += st.Metrics.PromptTokens
+		}
 		return st, nil
 	}
 
@@ -90,7 +94,7 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 	//llmqlint:partial
 	st := &query.StageResult{Spec: spec, Rows: n, ModelCalls: len(ownedRows)}
 	if len(ownedRows) > 0 {
-		m := rt.batcher.submit(fp, spec, tbl, ownedRows, qcfg)
+		m := rt.batcher.submit(ctx, fp, spec, tbl, ownedRows, qcfg)
 		select {
 		case <-m.done:
 		case <-ctx.Done():
@@ -119,6 +123,16 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 		st.Metrics = m.batch.Metrics
 		st.SolverSeconds = m.batch.SolverSeconds
 		st.PHC = m.batch.PHC
+		if si := stmtInfoFrom(ctx); si != nil {
+			// Charge this statement its own rows, and a row-proportional
+			// share of the coalesced run's prompt tokens: the batch total is
+			// conserved across participants (up to integer truncation), so
+			// per-client token accounting sums to the fleet's.
+			si.calls += int64(len(ownedRows))
+			if m.batch.Rows > 0 {
+				si.tokens += m.batch.Metrics.PromptTokens * int64(len(m.rows)) / int64(m.batch.Rows)
+			}
+		}
 	}
 	for key, fl := range subs {
 		select {

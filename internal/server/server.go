@@ -15,7 +15,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -26,6 +28,48 @@ import (
 	"repro/internal/table"
 	"repro/internal/tokenizer"
 )
+
+// Error codes of the /v1 error envelope: every /v1/* error response is
+//
+//	{"error": {"code": "<one of these>", "message": "<human text>"}}
+//
+// Codes are stable API; messages are not. See docs/API.md.
+const (
+	// ErrCodeInvalidRequest — the body failed to decode or validate (400).
+	ErrCodeInvalidRequest = "invalid_request"
+	// ErrCodeMethodNotAllowed — wrong HTTP method for the endpoint (405).
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	// ErrCodeExecutionFailed — the statement was well-formed but failed to
+	// plan or execute (422).
+	ErrCodeExecutionFailed = "execution_failed"
+	// ErrCodeQuotaExceeded — the client's quota buckets are overdrawn (429);
+	// the response carries a Retry-After header and retryAfterMs field.
+	ErrCodeQuotaExceeded = "quota_exceeded"
+	// ErrCodeCanceled — the request's context died before completion (499,
+	// the nginx client-closed-request convention).
+	ErrCodeCanceled = "canceled"
+	// ErrCodeUnavailable — no serving runtime is attached (503).
+	ErrCodeUnavailable = "unavailable"
+	// ErrCodeDeadlineExceeded — the statement's deadline expired (504).
+	ErrCodeDeadlineExceeded = "deadline_exceeded"
+	// ErrCodeInternal — an invariant broke server-side (500).
+	ErrCodeInternal = "internal"
+)
+
+// ErrorBody is the inner error object of the /v1 envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMs rides only on quota_exceeded: how long until the client's
+	// buckets refill (the Retry-After header carries the same figure in
+	// whole seconds).
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
+}
+
+// ErrorResponse is the uniform /v1 error envelope.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
 
 // TableJSON is the wire form of an input relation.
 type TableJSON struct {
@@ -150,10 +194,10 @@ func NewWithRuntime(rt *runtime.Runtime) http.Handler {
 	return mux
 }
 
-// SQLRequest is the /v1/sql body: one LLM-SQL statement over the serving
-// runtime's registered tables.
-type SQLRequest struct {
-	SQL string `json:"sql"`
+// SQLOptions is the execution-options envelope of a /v1/sql request — the
+// home of every plan/policy toggle, so QoS identity (client, class,
+// deadline) and execution tuning don't share a flat namespace.
+type SQLOptions struct {
 	// Naive runs the statement's unoptimized plan (no pushdown, dedup, or
 	// cost-ordered filter cascade) for A/B comparison.
 	Naive bool `json:"naive,omitempty"`
@@ -163,11 +207,43 @@ type SQLRequest struct {
 	Policy string `json:"policy,omitempty"`
 }
 
+// SQLRequest is the /v1/sql body: one LLM-SQL statement over the serving
+// runtime's registered tables, executed as the named client and class.
+type SQLRequest struct {
+	SQL string `json:"sql"`
+	// Client names the tenant this statement runs for: its fair-admission
+	// flow, quota bucket, and per-client metrics row. Empty accounts under
+	// the runtime's default (anonymous) client.
+	Client string `json:"client,omitempty"`
+	// Class is the statement's service class, "interactive" (default) or
+	// "batch": it selects the admission weight and the micro-batcher's
+	// coalescing window.
+	Class string `json:"class,omitempty"`
+	// DeadlineMs bounds the statement's total time in milliseconds. The
+	// deadline also closes any batch window the statement is parked in
+	// early, so a deadlined statement is not taxed by coalescing.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+	// Options is the execution-options envelope.
+	Options *SQLOptions `json:"options,omitempty"`
+
+	// Naive and Policy at the top level are deprecated in favor of the
+	// options envelope. Both forms are accepted for one release; using the
+	// top-level fields adds a "deprecated" warning list to the response,
+	// and the envelope wins when both are present.
+	Naive  *bool  `json:"naive,omitempty"`
+	Policy string `json:"policy,omitempty"`
+}
+
 // SQLResponse carries the result relation, the statement's own serving
 // statistics, and a snapshot of the runtime's fleet-wide metrics.
 type SQLResponse struct {
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
+	// Client / Class echo the identity the statement was accounted under
+	// (normalized: empty client maps to the runtime default, empty class to
+	// interactive).
+	Client string `json:"client"`
+	Class  string `json:"class"`
 	// JCT attributes every coalesced engine run the statement waited on;
 	// LLMCalls counts only rows this statement itself sent to an engine
 	// (cache hits and piggybacked calls are free).
@@ -176,13 +252,16 @@ type SQLResponse struct {
 	SolverMs float64 `json:"solverMs"`
 	LLMCalls int     `json:"llmCalls"`
 	Stages   int     `json:"stages"`
+	// Deprecated warns, per deprecated request field used, what to use
+	// instead. Absent when the request used only current fields.
+	Deprecated []string `json:"deprecated,omitempty"`
 	// Runtime is the fleet-wide accounting after this statement finished.
 	Runtime runtime.Metrics `json:"runtime"`
 }
 
 func handleSQL(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
 	if rt == nil {
-		writeError(w, http.StatusServiceUnavailable,
+		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
 			fmt.Errorf("no serving runtime attached; start the server with registered tables (llmqserve -csv/-dataset)"))
 		return
 	}
@@ -191,34 +270,99 @@ func handleSQL(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.SQL == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("sql is required"))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, fmt.Errorf("sql is required"))
 		return
 	}
-	// The statement is scoped to the request: a client that disconnects (or
-	// times out) cancels its statement instead of leaving it running.
-	res, err := rt.ExecContext(r.Context(), req.SQL,
-		runtime.Options{Naive: req.Naive, Policy: query.Policy(req.Policy)})
+	class, err := runtime.ParseClass(req.Class)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		switch {
-		case errors.Is(err, context.Canceled):
-			status = 499 // client closed request (nginx convention)
-		case errors.Is(err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err)
+		return
+	}
+	if req.DeadlineMs < 0 {
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest,
+			fmt.Errorf("deadlineMs must be >= 0, got %d", req.DeadlineMs))
+		return
+	}
+	opts := runtime.Options{Client: runtime.ClientID(req.Client), Class: class}
+	var deprecated []string
+	if req.Options != nil {
+		opts.Naive = req.Options.Naive
+		opts.Policy = query.Policy(req.Options.Policy)
+	}
+	if req.Naive != nil {
+		deprecated = append(deprecated, `top-level "naive" is deprecated: use options.naive`)
+		if req.Options == nil {
+			opts.Naive = *req.Naive
 		}
-		writeError(w, status, err)
+	}
+	if req.Policy != "" {
+		deprecated = append(deprecated, `top-level "policy" is deprecated: use options.policy`)
+		if req.Options == nil {
+			opts.Policy = query.Policy(req.Policy)
+		}
+	}
+	// The statement is scoped to the request: a client that disconnects (or
+	// times out) cancels its statement instead of leaving it running. A
+	// request deadline tightens that scope.
+	ctx := r.Context()
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := rt.ExecContext(ctx, req.SQL, opts)
+	if err != nil {
+		writeExecError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SQLResponse{
-		Columns:  res.Columns,
-		Rows:     res.Rows,
-		JCT:      res.JCT,
-		HitRate:  res.HitRate,
-		SolverMs: res.SolverSeconds * 1000,
-		LLMCalls: res.LLMCalls,
-		Stages:   res.Stages,
-		Runtime:  rt.Metrics(),
+		Columns:    res.Columns,
+		Rows:       res.Rows,
+		Client:     string(normalizeClient(req.Client)),
+		Class:      string(class),
+		JCT:        res.JCT,
+		HitRate:    res.HitRate,
+		SolverMs:   res.SolverSeconds * 1000,
+		LLMCalls:   res.LLMCalls,
+		Stages:     res.Stages,
+		Deprecated: deprecated,
+		Runtime:    rt.Metrics(),
 	})
+}
+
+// normalizeClient mirrors the runtime's admission normalization for the
+// response echo.
+func normalizeClient(c string) runtime.ClientID {
+	if c == "" {
+		return runtime.DefaultClient
+	}
+	return runtime.ClientID(c)
+}
+
+// writeExecError maps a statement-execution error onto the envelope: quota
+// breaches become 429 with a retry horizon, context deaths keep their
+// cancellation statuses, everything else is an execution failure.
+func writeExecError(w http.ResponseWriter, err error) {
+	var qe *runtime.QuotaError
+	switch {
+	case errors.As(err, &qe):
+		secs := int64(math.Ceil(qe.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: ErrorBody{
+			Code:         ErrCodeQuotaExceeded,
+			Message:      err.Error(),
+			RetryAfterMs: qe.RetryAfter.Milliseconds(),
+		}})
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, ErrCodeCanceled, err) // client closed request (nginx convention)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, ErrCodeDeadlineExceeded, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeExecutionFailed, err)
+	}
 }
 
 func handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -229,11 +373,11 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 // that previously only rode piggybacked on /v1/sql responses.
 func handleMetrics(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		writeError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	if rt == nil {
-		writeError(w, http.StatusServiceUnavailable,
+		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
 			fmt.Errorf("no serving runtime attached; start the server with registered tables (llmqserve -csv/-dataset)"))
 		return
 	}
@@ -247,7 +391,7 @@ func handleReorder(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := req.Table.decode()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err)
 		return
 	}
 	lenOf := func(v string) int { return tokenizer.Count(v) }
@@ -263,19 +407,19 @@ func handleReorder(w http.ResponseWriter, r *http.Request) {
 	case "ophr":
 		res, err = core.OPHR(t, core.OPHROptions{LenOf: lenOf})
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, http.StatusUnprocessableEntity, ErrCodeExecutionFailed, err)
 			return
 		}
 	case "bestfixed":
 		s := core.BestFixed(t, lenOf)
 		res = &core.Result{Schedule: s, PHC: core.PHC(s, lenOf)}
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
 		return
 	}
 	solver := time.Since(start)
 	if err := core.Verify(t, res.Schedule); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err)
 		return
 	}
 	out := ReorderResponse{
@@ -301,7 +445,7 @@ func handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.HitOriginal < 0 || req.HitOriginal > 1 || req.HitGGR < 0 || req.HitGGR > 1 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("hit rates must be in [0,1]"))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, fmt.Errorf("hit rates must be in [0,1]"))
 		return
 	}
 	var book pricing.Book
@@ -313,7 +457,7 @@ func handleEstimate(w http.ResponseWriter, r *http.Request) {
 	case pricing.Gemini:
 		book = pricing.GeminiFlash15
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown provider %q", req.Provider))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, fmt.Errorf("unknown provider %q", req.Provider))
 		return
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
@@ -329,15 +473,15 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := req.Table.decode()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err)
 		return
 	}
 	if t.NumRows() == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("table has no rows"))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, fmt.Errorf("table has no rows"))
 		return
 	}
 	if req.Prompt == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("prompt is required"))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, fmt.Errorf("prompt is required"))
 		return
 	}
 	policy := query.Policy(req.Policy)
@@ -356,7 +500,7 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Policy: policy, Model: llmsim.Llama3_8B, Cluster: llmsim.SingleL4,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SimulateResponse{
@@ -372,13 +516,13 @@ func handleSimulate(w http.ResponseWriter, r *http.Request) {
 // readJSON enforces POST + a body-size cap and decodes into dst.
 func readJSON(w http.ResponseWriter, r *http.Request, dst interface{}) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		writeError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, fmt.Errorf("use POST"))
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, fmt.Errorf("decode request: %w", err))
 		return false
 	}
 	return true
@@ -390,6 +534,9 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError emits the uniform /v1 error envelope. Every error path of
+// every /v1 endpoint goes through here (or writeExecError, which adds the
+// quota retry horizon), so clients can always dispatch on error.code.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
 }

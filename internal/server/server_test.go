@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
 	"repro/internal/runtime"
@@ -257,13 +258,145 @@ func TestSQLEndpointNaiveToggle(t *testing.T) {
 	h, _ := sqlHandler(t)
 	stmt := `SELECT ticket_id, LLM('Summarize.', request) AS s FROM tickets
 	         WHERE LLM('Summarize.', request) <> 'x' AND region = 'amer'`
-	planned := decode[SQLResponse](t, post(t, h, "/v1/sql", SQLRequest{SQL: stmt, Policy: "no-cache"}))
-	naive := decode[SQLResponse](t, post(t, h, "/v1/sql", SQLRequest{SQL: stmt, Naive: true, Policy: "no-cache"}))
+	planned := decode[SQLResponse](t, post(t, h, "/v1/sql", SQLRequest{
+		SQL: stmt, Options: &SQLOptions{Policy: "no-cache"},
+	}))
+	naive := decode[SQLResponse](t, post(t, h, "/v1/sql", SQLRequest{
+		SQL: stmt, Options: &SQLOptions{Naive: true, Policy: "no-cache"},
+	}))
 	if naive.Stages <= planned.Stages {
 		t.Errorf("naive stages = %d, planned = %d; naive should run the duplicated call twice", naive.Stages, planned.Stages)
 	}
 	if len(naive.Rows) != len(planned.Rows) {
 		t.Errorf("naive rows = %d, planned rows = %d", len(naive.Rows), len(planned.Rows))
+	}
+	if len(naive.Deprecated) != 0 || len(planned.Deprecated) != 0 {
+		t.Errorf("options envelope flagged as deprecated: %v %v", naive.Deprecated, planned.Deprecated)
+	}
+}
+
+// TestSQLEndpointLegacyBody: a pre-envelope request body — top-level naive
+// and policy, no options object — still executes identically, and the
+// response carries deprecation warnings naming the replacement fields.
+func TestSQLEndpointLegacyBody(t *testing.T) {
+	h, _ := sqlHandler(t)
+	stmt := `SELECT ticket_id, LLM('Summarize.', request) AS s FROM tickets
+	         WHERE LLM('Summarize.', request) <> 'x' AND region = 'amer'`
+	raw := `{"sql": ` + strconv.Quote(stmt) + `, "naive": true, "policy": "no-cache"}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/sql", bytes.NewReader([]byte(raw)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("legacy body rejected: %d: %s", rec.Code, rec.Body.String())
+	}
+	legacy := decode[SQLResponse](t, rec)
+	if len(legacy.Deprecated) != 2 {
+		t.Errorf("deprecated warnings = %v, want one each for naive and policy", legacy.Deprecated)
+	}
+	enveloped := decode[SQLResponse](t, post(t, h, "/v1/sql", SQLRequest{
+		SQL: stmt, Options: &SQLOptions{Naive: true, Policy: "no-cache"},
+	}))
+	if len(legacy.Rows) != len(enveloped.Rows) || legacy.Stages != enveloped.Stages {
+		t.Errorf("legacy body executed differently: %d rows/%d stages vs %d rows/%d stages",
+			len(legacy.Rows), legacy.Stages, len(enveloped.Rows), enveloped.Stages)
+	}
+	// When both forms are present, the envelope wins.
+	raw = `{"sql": ` + strconv.Quote(stmt) + `, "naive": true, "options": {"policy": "no-cache"}}`
+	req = httptest.NewRequest(http.MethodPost, "/v1/sql", bytes.NewReader([]byte(raw)))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	both := decode[SQLResponse](t, rec)
+	if both.Stages != enveloped.Stages-1 {
+		t.Errorf("envelope should win over top-level naive: stages = %d, want planned %d", both.Stages, enveloped.Stages-1)
+	}
+	if len(both.Deprecated) != 1 {
+		t.Errorf("deprecated warnings = %v, want one for naive", both.Deprecated)
+	}
+}
+
+// TestSQLEndpointQoSFields: client, class, and deadlineMs flow through to
+// the runtime's accounting and back in the response echo.
+func TestSQLEndpointQoSFields(t *testing.T) {
+	h, rt := sqlHandler(t)
+	rec := post(t, h, "/v1/sql", SQLRequest{
+		SQL:        `SELECT ticket_id, LLM('Is this urgent?', request) AS urgent FROM tickets`,
+		Client:     "dashboard",
+		Class:      "batch",
+		DeadlineMs: 60_000,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	res := decode[SQLResponse](t, rec)
+	if res.Client != "dashboard" || res.Class != "batch" {
+		t.Errorf("identity echo = %q/%q", res.Client, res.Class)
+	}
+	m := rt.Metrics()
+	cm, ok := m.Clients[runtime.ClientID("dashboard")]
+	if !ok {
+		t.Fatalf("no per-client metrics row: %+v", m.Clients)
+	}
+	if cm.Statements != 1 || cm.LLMCalls == 0 || cm.PromptTokens == 0 {
+		t.Errorf("dashboard accounting = %+v", cm)
+	}
+	if m.QueueWait[runtime.ClassBatch].Count != 1 {
+		t.Errorf("batch-class queue-wait histogram = %+v", m.QueueWait)
+	}
+
+	// Anonymous requests account under the default client.
+	post(t, h, "/v1/sql", SQLRequest{SQL: `SELECT region FROM tickets`})
+	if cm := rt.Metrics().Clients[runtime.DefaultClient]; cm.Statements != 1 {
+		t.Errorf("anonymous accounting = %+v", cm)
+	}
+
+	if rec := post(t, h, "/v1/sql", SQLRequest{SQL: `SELECT region FROM tickets`, Class: "bogus"}); rec.Code != http.StatusBadRequest {
+		t.Errorf("bogus class: %d, want 400", rec.Code)
+	}
+	if rec := post(t, h, "/v1/sql", SQLRequest{SQL: `SELECT region FROM tickets`, DeadlineMs: -1}); rec.Code != http.StatusBadRequest {
+		t.Errorf("negative deadline: %d, want 400", rec.Code)
+	}
+}
+
+// TestSQLEndpointQuota: an over-quota client gets the 429 envelope with a
+// retry horizon in both the Retry-After header and the error body.
+func TestSQLEndpointQuota(t *testing.T) {
+	tbl := table.New("ticket_id", "request")
+	for i := 0; i < 8; i++ {
+		tbl.MustAppendRow("T-"+string(rune('a'+i)), "please fix issue "+string(rune('0'+i)))
+	}
+	db := sqlfront.NewDB()
+	db.Register("tickets", tbl)
+	rt := runtime.New(db, runtime.Config{
+		Workers: 2,
+		ClientQuotas: map[runtime.ClientID]runtime.Quota{
+			"miser": {CallsPerSec: 0.001, CallBurst: 1},
+		},
+	})
+	t.Cleanup(rt.Close)
+	h := NewWithRuntime(rt)
+
+	stmt := `SELECT ticket_id, LLM('Is this urgent?', request) AS urgent FROM tickets`
+	if rec := post(t, h, "/v1/sql", SQLRequest{SQL: stmt, Client: "miser"}); rec.Code != http.StatusOK {
+		t.Fatalf("first statement: %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := post(t, h, "/v1/sql", SQLRequest{SQL: stmt, Client: "miser"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota statement: %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	envelope := decode[ErrorResponse](t, rec)
+	if envelope.Error.Code != ErrCodeQuotaExceeded || envelope.Error.RetryAfterMs <= 0 {
+		t.Errorf("quota envelope = %+v", envelope.Error)
+	}
+	// An unthrottled client is unaffected.
+	if rec := post(t, h, "/v1/sql", SQLRequest{SQL: stmt, Client: "other"}); rec.Code != http.StatusOK {
+		t.Errorf("unthrottled client: %d", rec.Code)
+	}
+	if m := rt.Metrics(); m.QuotaRejections != 1 || m.Clients["miser"].QuotaRejections != 1 {
+		t.Errorf("quota rejection accounting = %d fleet / %d client, want 1/1",
+			m.QuotaRejections, m.Clients["miser"].QuotaRejections)
 	}
 }
 
@@ -345,5 +478,59 @@ func TestMetricsEndpoint(t *testing.T) {
 	New().ServeHTTP(rec, req)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("GET /v1/metrics without runtime: %d, want 503", rec.Code)
+	}
+}
+
+// TestErrorEnvelope: every /v1/* error path answers with the structured
+// envelope — a non-empty stable code and a human message — never a bare
+// string.
+func TestErrorEnvelope(t *testing.T) {
+	h, _ := sqlHandler(t)
+	cases := []struct {
+		name   string
+		rec    *httptest.ResponseRecorder
+		status int
+		code   string
+	}{
+		{"sql missing", post(t, h, "/v1/sql", SQLRequest{}), http.StatusBadRequest, ErrCodeInvalidRequest},
+		{"sql bad class", post(t, h, "/v1/sql", SQLRequest{SQL: "SELECT region FROM tickets", Class: "nope"}), http.StatusBadRequest, ErrCodeInvalidRequest},
+		{"sql exec failure", post(t, h, "/v1/sql", SQLRequest{SQL: "SELECT nope FROM tickets"}), http.StatusUnprocessableEntity, ErrCodeExecutionFailed},
+		{"sql no runtime", post(t, New(), "/v1/sql", SQLRequest{SQL: "SELECT a FROM t"}), http.StatusServiceUnavailable, ErrCodeUnavailable},
+		{"reorder bad table", post(t, h, "/v1/reorder", ReorderRequest{}), http.StatusBadRequest, ErrCodeInvalidRequest},
+		{"reorder bad algorithm", post(t, h, "/v1/reorder", ReorderRequest{Table: sampleTable(), Algorithm: "bogus"}), http.StatusBadRequest, ErrCodeInvalidRequest},
+		{"estimate bad provider", post(t, h, "/v1/estimate", EstimateRequest{Provider: "nope"}), http.StatusBadRequest, ErrCodeInvalidRequest},
+		{"simulate no prompt", post(t, h, "/v1/simulate", SimulateRequest{Table: sampleTable()}), http.StatusBadRequest, ErrCodeInvalidRequest},
+	}
+	get := func(path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	cases = append(cases,
+		struct {
+			name   string
+			rec    *httptest.ResponseRecorder
+			status int
+			code   string
+		}{"reorder wrong method", get("/v1/reorder"), http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed},
+		struct {
+			name   string
+			rec    *httptest.ResponseRecorder
+			status int
+			code   string
+		}{"metrics wrong method", post(t, h, "/v1/metrics", struct{}{}), http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed},
+	)
+	for _, tc := range cases {
+		if tc.rec.Code != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, tc.rec.Code, tc.status)
+		}
+		envelope := decode[ErrorResponse](t, tc.rec)
+		if envelope.Error.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q (body %s)", tc.name, envelope.Error.Code, tc.code, tc.rec.Body.String())
+		}
+		if envelope.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
 	}
 }

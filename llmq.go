@@ -371,6 +371,35 @@ type (
 	RuntimeMetrics = runtime.Metrics
 )
 
+// Admission is multi-tenant: every statement runs on behalf of a ClientID in
+// a service Class, the admission scheduler shares workers weighted-fairly
+// across (client, class) flows, per-client quotas answer overdraw with a
+// QuotaError carrying a retry horizon, and RuntimeMetrics breaks calls,
+// tokens, and queue waits down per client. ClientID is the one identity type
+// used across the runtime, the HTTP server, and metrics.
+type (
+	ClientID      = runtime.ClientID
+	Class         = runtime.Class
+	ClientQuota   = runtime.Quota
+	QuotaError    = runtime.QuotaError
+	ClientStats   = runtime.ClientMetrics
+	WaitHistogram = runtime.WaitHistogram
+)
+
+// Service classes: interactive statements get the high admission weight and
+// the short coalescing window (joining one even closes a batch-held window
+// early); batch statements wait longer to coalesce more.
+const (
+	ClassInteractive = runtime.ClassInteractive
+	ClassBatch       = runtime.ClassBatch
+	// DefaultClient is the identity anonymous statements are accounted to.
+	DefaultClient = runtime.DefaultClient
+)
+
+// ParseClass resolves the wire form of a service class ("" means
+// interactive).
+func ParseClass(s string) (Class, error) { return runtime.ParseClass(s) }
+
 // NewRuntime starts a serving runtime over a SQL database. Close it to
 // drain the worker pool.
 func NewRuntime(db *SQLDB, cfg RuntimeConfig) *Runtime { return runtime.New(db, cfg) }
