@@ -13,9 +13,11 @@
 //	/v1/estimate  {provider, hitOriginal, hitGGR}             -> cost savings
 //	/v1/simulate  {table, prompt, policy?}                    -> serving metrics
 //	/v1/sql       {sql, client?, class?, deadlineMs?,         -> result relation +
-//	               options: {naive?, policy?}}                   per-statement stats +
+//	               options: {naive?, policy?, trace?}}           per-statement stats +
 //	                                                             fleet metrics
 //	/v1/metrics   (GET) fleet-wide runtime metrics snapshot
+//	              (JSON; ?format=prometheus for text exposition)
+//	/v1/traces    (GET) retained statement traces (opt-in + slow queries)
 //	/healthz      (GET)
 //
 // /v1/sql executes LLM-SQL statements over the tables registered with -csv
@@ -51,6 +53,15 @@
 // and fanned out over N concurrent engine runs, cutting batch latency while
 // keeping relations byte-identical.
 //
+// Observability: logs are structured (log/slog; -log-format json switches
+// from text to JSON). Every /v1/sql request writes one access-log line with
+// the client, class, outcome code, queue wait, JCT, and model calls.
+// -slow-query THRESHOLD arms the slow-query log: statements whose wall time
+// (admission to settlement) meets the threshold are logged and their full
+// traces retained in GET /v1/traces. -debug-addr starts a SEPARATE debug
+// listener serving net/http/pprof profiles and an expvar snapshot of the
+// runtime metrics — never exposed on the public mux.
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops accepting
 // connections, drains in-flight requests for up to -drain, then closes the
 // runtime (flushing any batch still waiting on its window) and the backend.
@@ -64,10 +75,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -112,8 +126,17 @@ func main() {
 		backendName = flag.String("backend", "sim", "serving backend: sim (one engine per batch), persistent (long-lived engine replicas per stage, prefix cache survives between batches), or sharded-sim/sharded-persistent (data-parallel fan-out)")
 		shards      = flag.Int("shards", 1, "data-parallel shards per batch: >1 wraps -backend in a sharded fan-out (sharded-* backends default to 4)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight requests")
+		slowQuery   = flag.Duration("slow-query", 0, "slow-query threshold: statements at least this slow are logged and their traces retained in /v1/traces (0 disables)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		debugAddr   = flag.String("debug-addr", "", "separate listen address for pprof and expvar debug endpoints (empty disables; never served on the public address)")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	be, err := backend.ByNameShards(*backendName, *shards)
 	if err != nil {
@@ -160,23 +183,35 @@ func main() {
 				TokensPerSec: *quotaToks,
 				TokenBurst:   *quotaTokB,
 			},
+			SlowQueryThreshold: *slowQuery,
+			SlowLogger:         logger,
 		})
-		admission := "weighted-fair admission"
+		admission := "weighted-fair"
 		if *fifo {
-			admission = "FIFO admission"
+			admission = "FIFO"
 		}
-		log.Printf("llmqserve: /v1/sql serving tables %s (%d workers, %s batch window, %s backend, %s)",
-			strings.Join(db.Tables(), ", "), *workers, *window, *backendName, admission)
+		logger.Info("llmqserve: /v1/sql serving",
+			"tables", strings.Join(db.Tables(), ","),
+			"workers", *workers,
+			"batchWindow", window.String(),
+			"backend", *backendName,
+			"admission", admission,
+			"slowQuery", slowQuery.String())
 	} else {
-		log.Printf("llmqserve: no tables registered; /v1/sql disabled (use -csv/-dataset)")
+		logger.Info("llmqserve: no tables registered; /v1/sql disabled (use -csv/-dataset)")
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWithRuntime(rt),
+		Handler:           server.NewWithConfig(server.Config{Runtime: rt, AccessLog: logger}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = startDebugServer(*debugAddr, rt, logger)
 	}
 
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections, let
@@ -187,34 +222,83 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("llmqserve listening on %s", *addr)
+	logger.Info("llmqserve listening", "addr", *addr)
 
 	select {
 	case err := <-errCh:
 		// Listener died on its own; drain what we can and report.
-		shutdown(rt, be)
-		log.Fatal(err)
+		shutdown(rt, be, debugSrv)
+		logger.Error("llmqserve: listener failed", "error", err)
+		os.Exit(1)
 	case <-sigCtx.Done():
 		stop() // restore default signal behavior: a second signal kills hard
-		log.Printf("llmqserve: signal received, draining for up to %s", *drain)
+		logger.Info("llmqserve: signal received, draining", "deadline", drain.String())
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("llmqserve: shutdown: %v", err)
+			logger.Warn("llmqserve: shutdown", "error", err)
 		}
-		shutdown(rt, be)
-		log.Printf("llmqserve: drained, exiting")
+		shutdown(rt, be, debugSrv)
+		logger.Info("llmqserve: drained, exiting")
 	}
 }
 
+// buildLogger constructs the process logger for -log-format.
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q: want text or json", format)
+	}
+}
+
+// startDebugServer serves pprof and expvar on their own listener, separate
+// from the public API mux: profiles and runtime internals never ride the
+// address a load balancer exposes. Handlers are registered on a private mux
+// (not http.DefaultServeMux) so nothing else the process imports can leak
+// endpoints onto it.
+func startDebugServer(addr string, rt *runtime.Runtime, logger *slog.Logger) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if rt != nil {
+		// Publish the runtime metrics snapshot as an expvar, computed on
+		// demand per scrape.
+		expvar.Publish("llmq", expvar.Func(func() any { return rt.Metrics() }))
+		mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(rt.Metrics())
+		})
+	}
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			logger.Warn("llmqserve: debug listener failed", "error", err)
+		}
+	}()
+	logger.Info("llmqserve debug listening", "addr", addr)
+	return srv
+}
+
 // shutdown drains the runtime (in-flight statements complete, pending
-// batches flush) and releases the backend's long-lived engines.
-func shutdown(rt *runtime.Runtime, be backend.Backend) {
+// batches flush), releases the backend's long-lived engines, and closes the
+// debug listener.
+func shutdown(rt *runtime.Runtime, be backend.Backend, debugSrv *http.Server) {
 	if rt != nil {
 		rt.Close()
 	}
 	if be != nil {
 		_ = be.Close()
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
 	}
 }
 

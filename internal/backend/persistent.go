@@ -5,8 +5,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/llmsim"
+	"repro/internal/obs"
 )
 
 // DefaultEngineBudget bounds how many long-lived engine replicas a
@@ -104,9 +106,14 @@ func (p *Persistent) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult,
 	if err := ctx.Err(); err != nil {
 		return BatchResult{}, err
 	}
+	acquireStart := time.Now()
 	eng, pool, err := p.acquire(ctx, spec)
 	if err != nil {
 		return BatchResult{}, err
+	}
+	if sp := obs.FromContext(ctx); sp != nil {
+		sp.Set("backend", "persistent")
+		sp.Set("replicaWaitMs", float64(time.Since(acquireStart))/float64(time.Millisecond))
 	}
 	metrics, err := eng.RunInterruptible(spec.Requests, interruptFor(ctx))
 	p.release(pool, eng)

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/llmsim"
+	"repro/internal/obs"
 )
 
 // DefaultShards is the shard count the "sharded-*" backend names use when no
@@ -121,6 +123,11 @@ func (s *Sharded) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, er
 		subs[b] = reqs
 	}
 
+	// The backend span (attached by the query layer) gets the fan-out width
+	// and one completed child per shard. Span mutation is mutex-guarded, so
+	// the concurrent shard goroutines may annotate the same parent.
+	sp := obs.FromContext(ctx)
+	sp.Set("shards", len(subs))
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	results := make([]BatchResult, len(subs))
@@ -130,11 +137,19 @@ func (s *Sharded) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, er
 		wg.Add(1)
 		go func(b int, reqs []*llmsim.Request) {
 			defer wg.Done()
+			shardStart := time.Now()
 			results[b], errs[b] = s.inner.RunBatch(runCtx, BatchSpec{
 				StageKey: spec.StageKey,
 				Requests: reqs,
 				Engine:   spec.Engine,
 			})
+			if sp != nil {
+				c := sp.ChildAt(fmt.Sprintf("shard-%d", b), shardStart, time.Since(shardStart))
+				c.Set("requests", len(reqs))
+				if errs[b] == nil {
+					c.Set("jctSeconds", results[b].Metrics.JCT)
+				}
+			}
 			if errs[b] != nil {
 				cancel() // fail fast: peers stop between engine steps
 			}

@@ -51,6 +51,9 @@ var knownTypes = map[string]bool{
 	"repro/internal/kvcache.Stats":         true,
 	"repro/internal/runtime.ClientMetrics": true,
 	"repro/internal/runtime.WaitHistogram": true,
+	"repro/internal/obs.SpanTree":          true,
+	"repro/internal/obs.StageObservation":  true,
+	"repro/internal/obs.StageRollup":       true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/llmsim"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/table"
 	"repro/internal/tokenizer"
@@ -163,9 +164,17 @@ func RunStageContext(ctx context.Context, spec Spec, tbl *table.Table, cfg Confi
 		return &StageResult{Spec: spec}, nil
 	}
 	stageKey := StageKey(spec, tbl.Columns(), cfg)
+	sp := obs.FromContext(ctx)
+	schedStart := time.Now()
 	sched, phc, solver, err := buildSchedule(tbl, cfg, stageKey)
 	if err != nil {
 		return nil, err
+	}
+	if sp != nil {
+		ss := sp.ChildAt("schedule", schedStart, time.Since(schedStart))
+		ss.Set("policy", string(cfg.Policy))
+		ss.Set("solverSeconds", solver.Seconds())
+		ss.Set("phc", phc)
 	}
 	if err := core.Verify(tbl, sched); err != nil {
 		return nil, fmt.Errorf("query: schedule for %s broke semantics: %w", spec.Name, err)
@@ -192,15 +201,26 @@ func RunStageContext(ctx context.Context, spec Spec, tbl *table.Table, cfg Confi
 	if be == nil {
 		be = backend.Default
 	}
-	br, err := be.RunBatch(ctx, backend.BatchSpec{
+	// The backend span rides the batch's context so the backend itself
+	// (sharded fan-out, persistent pool) can annotate its dispatch; it carries
+	// the engine run's accounting as attributes but never charges — charging
+	// happens once, in the serving runtime, where the statement is charged.
+	bsp := sp.Child("backend")
+	br, err := be.RunBatch(obs.With(ctx, bsp), backend.BatchSpec{
 		StageKey: stageKey,
 		Requests: reqs,
 		Groups:   core.GroupStarts(sched),
 		Engine:   engineConfig(cfg),
 	})
+	bsp.End()
 	if err != nil {
+		bsp.Set("error", err.Error())
 		return nil, fmt.Errorf("query: engine run for %s: %w", spec.Name, err)
 	}
+	bsp.Set("modelCalls", br.ModelCalls)
+	bsp.Set("jctSeconds", br.Metrics.JCT)
+	bsp.Set("promptTokens", br.Metrics.PromptTokens)
+	bsp.Set("matchedTokens", br.Metrics.MatchedTokens)
 
 	outputs := make([]string, tbl.NumRows())
 	prof := cfg.oracle()

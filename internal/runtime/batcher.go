@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -46,6 +47,17 @@ type member struct {
 	outputs []string
 	batch   *query.StageResult
 	err     error
+
+	// Trace plumbing: traced marks a member whose statement is recording
+	// (captured at submit); window / pulledForward describe the batch wait
+	// its class bought; bspan is the shared batch span run() records when
+	// any member is traced — adopted (charges zero) into each traced
+	// member's tree. All are written before done closes and read only by
+	// the owning statement after it.
+	traced        bool
+	window        time.Duration
+	pulledForward bool
+	bspan         *obs.Span
 }
 
 // group accumulates members with one fingerprint until flush.
@@ -72,8 +84,10 @@ func newBatcher(rt *Runtime) *batcher {
 // the submitting statement's context: its service class picks the window
 // this member is willing to wait, and its deadline clamps it.
 func (b *batcher) submit(ctx context.Context, fp string, spec query.Spec, tbl *table.Table, rows []int, qcfg query.Config) *member {
-	m := &member{spec: spec, tbl: tbl, rows: rows, done: make(chan struct{})}
+	m := &member{spec: spec, tbl: tbl, rows: rows, done: make(chan struct{}),
+		traced: obs.FromContext(ctx) != nil}
 	window := b.rt.cfg.windowFor(classFrom(ctx))
+	m.window = window
 	now := time.Now()
 	fire := now.Add(window)
 	if dl, ok := ctx.Deadline(); ok {
@@ -115,6 +129,7 @@ func (b *batcher) submit(ctx context.Context, fp string, spec query.Spec, tbl *t
 	b.mu.Unlock()
 	if shortened {
 		b.rt.c.batchWindowsShortened.Add(1)
+		m.pulledForward = true
 	}
 	if full || immediate {
 		b.flush(g)
@@ -164,6 +179,17 @@ func (b *batcher) flushAll() {
 // row's oracle draw and output budget are exactly what its own statement
 // would have used.
 func (b *batcher) run(g *group, members []*member) {
+	// One shared batch span serves every traced member: it carries the
+	// whole run's detail as attributes but charges nothing — each member
+	// charges its own proportional share on its own stage span, so a batch
+	// shared by k traced statements never double-counts.
+	var bsp *obs.Span
+	for _, m := range members {
+		if m.traced {
+			bsp = obs.NewSpan("batch")
+			break
+		}
+	}
 	tmpl := members[0].spec
 	combined := table.New(g.cols...)
 	var truths []string
@@ -201,15 +227,24 @@ func (b *batcher) run(g *group, members []*member) {
 	spec.RowKeys = func(row int) uint64 { return rowKeys[row] }
 	spec.RowOutTokens = func(row int) int { return outTok[row] }
 
+	bsp.Set("members", len(members))
+	bsp.Set("rows", total)
+
 	// The run is deliberately detached from any one statement's context: a
 	// coalesced batch may carry rows from several statements, and canceling
 	// one must not starve the others (a canceled member's reservations are
 	// settled by its detached resolver when this run lands — see RunStage).
+	// The shared batch span rides the detached context so the query and
+	// backend layers annotate it.
 	//llmqlint:detached -- batch outlives any single member statement's context
-	st, err := query.RunStageContext(context.Background(), spec, combined, g.qcfg)
+	bctx := obs.With(context.Background(), bsp)
+	st, err := query.RunStageContext(bctx, spec, combined, g.qcfg)
 	if err != nil {
+		bsp.Set("error", err.Error())
+		bsp.End()
 		for _, m := range members {
 			m.err = err
+			m.bspan = bsp
 			close(m.done)
 		}
 		return
@@ -227,9 +262,18 @@ func (b *batcher) run(g *group, members []*member) {
 		c.coalescedRuns.Add(1)
 		c.coalescedRows.Add(int64(total))
 	}
+	if bsp != nil {
+		bsp.Set("shared", len(members) > 1)
+		bsp.Set("jctSeconds", st.Metrics.JCT)
+		bsp.Set("solverSeconds", st.SolverSeconds)
+		bsp.Set("promptTokens", st.Metrics.PromptTokens)
+		bsp.Set("matchedTokens", st.Metrics.MatchedTokens)
+		bsp.End()
+	}
 	for _, m := range members {
 		m.batch = st
 		m.outputs = st.Outputs[m.offset : m.offset+len(m.rows)]
+		m.bspan = bsp
 		close(m.done)
 	}
 }

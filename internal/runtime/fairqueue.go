@@ -31,9 +31,10 @@ type fairQueue struct {
 	size   int    // guarded by mu
 	jobs   []*job // guarded by mu; FIFO mode only
 
-	flows map[flowKey]*flow // guarded by mu; active (non-empty) flows
-	ring  []*flow           // guarded by mu; round-robin order over flows
-	cur   int               // guarded by mu; ring position of the DRR pointer
+	flows  map[flowKey]*flow // guarded by mu; active (non-empty) flows
+	ring   []*flow           // guarded by mu; round-robin order over flows
+	cur    int               // guarded by mu; ring position of the DRR pointer
+	rounds int64             // guarded by mu; cumulative ring passes (trace attr)
 
 	popWaiters  []chan struct{} // guarded by mu
 	pushWaiters []*pushWaiter   // guarded by mu
@@ -165,6 +166,7 @@ func (q *fairQueue) enqueueLocked(j *job) {
 		q.jobs = append(q.jobs, j)
 		return
 	}
+	j.roundsAtPush = q.rounds
 	k := flowKey{client: j.client, class: j.class}
 	f := q.flows[k]
 	if f == nil {
@@ -209,10 +211,14 @@ func (q *fairQueue) nextLocked() *job {
 			if len(f.jobs) == 0 {
 				q.removeCurLocked(f)
 			}
+			j.drrRounds = q.rounds - j.roundsAtPush
 			return j
 		}
 		f.deficit += f.quantum
 		q.cur = (q.cur + 1) % len(q.ring)
+		if q.cur == 0 {
+			q.rounds++
+		}
 	}
 }
 

@@ -1,6 +1,10 @@
 package runtime
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // counters is the runtime's hot-path accounting. Everything is atomic so
 // workers, batch flushes, and metric readers never contend on a lock.
@@ -132,6 +136,13 @@ type Metrics struct {
 	// the interactive histogram stays low-bucketed even when the batch one
 	// grows a tail — the QoS property in one map.
 	QueueWait map[Class]WaitHistogram `json:"queueWait,omitempty"`
+	// Stages is the per-StageKey rollup of observed execution statistics —
+	// count, rows, latency (mean/p99), observed selectivity, cache hit rate
+	// — keyed by a short fingerprint hash. It is the feedback store seed
+	// for learned optimization (ROADMAP item 5): the observed selectivities
+	// and latencies a future planner re-ranks cascades with. Nil until an
+	// LLM stage has executed.
+	Stages map[string]obs.StageRollup `json:"stages,omitempty"`
 }
 
 // ClientMetrics is one client's slice of the fleet accounting.

@@ -73,10 +73,12 @@ package runtime
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sqlfront"
 )
@@ -153,6 +155,20 @@ type Config struct {
 	// row payloads repeated across stages and batch windows are tokenized
 	// once, on one long-lived tokenizer.
 	PromptCacheCapacity int
+	// SlowQueryThreshold, when positive, turns on the slow-query log: every
+	// statement is recorded (a trace cannot be reconstructed after the
+	// fact), and those whose wall time — admission to settlement — meets the
+	// threshold are retained in the trace ring and reported to SlowLogger.
+	// Zero records only statements that opt in with Options.Trace.
+	SlowQueryThreshold time.Duration
+	// TraceRingSize bounds the ring of retained traces behind
+	// Runtime.Traces / GET /v1/traces (default 128; negative disables
+	// retention — Handle.Trace still works).
+	TraceRingSize int
+	// SlowLogger, when non-nil, gets one structured record per statement
+	// exceeding SlowQueryThreshold. Nil disables slow logging (traces are
+	// still retained in the ring).
+	SlowLogger *slog.Logger
 }
 
 func (c Config) workers() int {
@@ -226,6 +242,18 @@ func (c Config) planCacheCapacity() int {
 	return 1024
 }
 
+func (c Config) traceRingSize() int {
+	if c.TraceRingSize != 0 {
+		return c.TraceRingSize
+	}
+	return 128
+}
+
+// rollupLimit bounds distinct StageKeys the per-stage rollup store tracks —
+// far above any realistic stage cardinality, it only guards /v1/metrics
+// against unbounded growth on adversarial workloads.
+const rollupLimit = 512
+
 // Options tunes one statement's execution.
 type Options struct {
 	// Naive runs the statement's naive plan (no pushdown, dedup, or
@@ -240,6 +268,12 @@ type Options struct {
 	// ClassInteractive): it selects the admission weight and the
 	// micro-batcher's coalescing window.
 	Class Class
+	// Trace records a span tree for this statement — EXPLAIN ANALYZE for
+	// the serving path. The tree is available on Handle.Trace after the
+	// statement settles and is retained in the /v1/traces ring. Untraced
+	// statements pay nothing: no recorder is created and every span call
+	// no-ops on a nil receiver.
+	Trace bool
 }
 
 // Runtime is a concurrent LLM-SQL server over one table registry. Create it
@@ -255,6 +289,8 @@ type Runtime struct {
 	reorder *query.ReorderCache
 	prompts *query.PromptCache
 	c       counters
+	traces  *obs.Ring    // nil when retention is disabled
+	rollups *obs.Rollups // per-StageKey feedback store
 
 	// waitInteractive / waitBatch are the admission-queue wait histograms
 	// by service class (atomic internals; no lock).
@@ -285,14 +321,47 @@ type job struct {
 	client     ClientID
 	class      Class
 	enqueuedAt time.Time
+
+	// planState / prepDur feed the trace's prepare span: how the statement's
+	// plan was resolved ("hit" / "miss" / "prepared") and how long it took.
+	planState string
+	prepDur   time.Duration
+	// roundsAtPush / drrRounds are the DRR scheduler's ring-pass counter at
+	// enqueue and the passes this statement waited through (set at pop; zero
+	// under FIFO admission).
+	roundsAtPush int64
+	drrRounds    int64
 }
 
 // Handle is a pending statement's future.
 type Handle struct {
-	done chan struct{}
-	res  *sqlfront.Result
-	err  error
+	done    chan struct{}
+	res     *sqlfront.Result
+	err     error
+	trace   *obs.Trace  // set before done closes; nil unless recorded
+	summary StmtSummary // set before done closes
 }
+
+// StmtSummary is the per-statement accounting settled on every handle —
+// the data an access log line needs without a full trace.
+type StmtSummary struct {
+	Client       ClientID
+	Class        Class
+	QueueWait    time.Duration
+	Wall         time.Duration
+	JCTSeconds   float64
+	LLMCalls     int64
+	PromptTokens int64
+}
+
+// Trace returns the statement's recorded span tree, nil unless the
+// statement ran with Options.Trace (or under a slow-query threshold) and
+// has settled — valid only after Wait returns.
+func (h *Handle) Trace() *obs.Trace { return h.trace }
+
+// Summary returns the statement's settled accounting — valid only after
+// Wait returns. Statements that failed admission report a zero summary.
+func (h *Handle) Summary() StmtSummary { return h.summary }
 
 // Wait blocks until the statement finishes and returns its result. It is
 // WaitContext without a way to give up.
@@ -328,6 +397,10 @@ func New(db *sqlfront.DB, cfg Config) *Runtime {
 		plans:   make(map[string]*sqlfront.Prepared),
 		quotas:  make(map[ClientID]*quotaBucket),
 		clients: make(map[ClientID]*clientCounters),
+		rollups: obs.NewRollups(rollupLimit),
+	}
+	if cfg.traceRingSize() > 0 {
+		rt.traces = obs.NewRing(cfg.traceRingSize())
 	}
 	if cfg.ReorderCacheCapacity >= 0 {
 		rt.reorder = query.NewReorderCache(cfg.ReorderCacheCapacity)
@@ -388,8 +461,19 @@ func (rt *Runtime) Metrics() Metrics {
 	if len(qw) > 0 {
 		m.QueueWait = qw
 	}
+	m.Stages = rt.rollups.Snapshot()
 	return m
 }
+
+// Traces returns the retained statement traces, newest first: explicitly
+// traced statements plus those over the slow-query threshold, bounded FIFO
+// by Config.TraceRingSize.
+func (rt *Runtime) Traces() []*obs.Trace { return rt.traces.Snapshot() }
+
+// observeStage is the executor's per-stage feedback hook (wired as
+// ExecConfig.StageObserver): it folds one executed stage's observed rows,
+// selectivity, tokens, and latency into the per-StageKey rollups.
+func (rt *Runtime) observeStage(ob obs.StageObservation) { rt.rollups.Observe(ob) }
 
 // waitFor picks the class's admission-wait histogram.
 func (rt *Runtime) waitFor(class Class) *waitHist {
@@ -458,11 +542,16 @@ func (rt *Runtime) Submit(sql string, opts Options) *Handle {
 // coalesced batches, inflight dedup entries, result-cache reservations — is
 // handed over cleanly, so concurrent statements are unaffected.
 func (rt *Runtime) SubmitContext(ctx context.Context, sql string, opts Options) *Handle {
-	p, err := rt.prepared(sql)
+	prepStart := time.Now()
+	p, hit, err := rt.prepared(sql)
 	if err != nil {
 		return failedHandle(err)
 	}
-	return rt.submitPrepared(ctx, p, opts)
+	planState := "miss"
+	if hit {
+		planState = "hit"
+	}
+	return rt.submitPrepared(ctx, p, opts, planState, time.Since(prepStart))
 }
 
 // Exec is Submit + Wait: run one statement to completion.
@@ -485,7 +574,7 @@ type Stmt struct {
 // Prepare parses and plans sql once, through the runtime's plan cache:
 // preparing the same text twice returns the same underlying plan.
 func (rt *Runtime) Prepare(sql string) (*Stmt, error) {
-	p, err := rt.prepared(sql)
+	p, _, err := rt.prepared(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -503,7 +592,7 @@ func (s *Stmt) Submit(opts Options) *Handle { return s.SubmitContext(context.Bac
 // SubmitContext is Submit with a statement-scoped context (see
 // Runtime.SubmitContext for the cancellation semantics).
 func (s *Stmt) SubmitContext(ctx context.Context, opts Options) *Handle {
-	return s.rt.submitPrepared(ctx, s.p, opts)
+	return s.rt.submitPrepared(ctx, s.p, opts, "prepared", 0)
 }
 
 // Execute runs the prepared statement to completion.
@@ -532,25 +621,26 @@ func (rt *Runtime) Close() {
 	rt.batcher.flushAll()
 }
 
-// prepared resolves sql through the plan cache. The cache is bounded: past
+// prepared resolves sql through the plan cache, reporting whether it was a
+// cache hit (the trace's prepare span). The cache is bounded: past
 // capacity an arbitrary entry is evicted — a plan is cheap to rebuild, so
 // the bound (not the replacement policy) is what matters here.
-func (rt *Runtime) prepared(sql string) (*sqlfront.Prepared, error) {
+func (rt *Runtime) prepared(sql string) (*sqlfront.Prepared, bool, error) {
 	limit := rt.cfg.planCacheCapacity()
 	rt.planMu.Lock()
 	p, ok := rt.plans[sql]
 	rt.planMu.Unlock()
 	if ok {
 		rt.c.planCacheHits.Add(1)
-		return p, nil
+		return p, true, nil
 	}
 	p, err := rt.db.Prepare(sql)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	rt.c.planCacheMisses.Add(1)
 	if limit <= 0 {
-		return p, nil
+		return p, false, nil
 	}
 	rt.planMu.Lock()
 	if prev, ok := rt.plans[sql]; ok {
@@ -565,10 +655,10 @@ func (rt *Runtime) prepared(sql string) (*sqlfront.Prepared, error) {
 		rt.plans[sql] = p
 	}
 	rt.planMu.Unlock()
-	return p, nil
+	return p, false, nil
 }
 
-func (rt *Runtime) submitPrepared(ctx context.Context, p *sqlfront.Prepared, opts Options) *Handle {
+func (rt *Runtime) submitPrepared(ctx context.Context, p *sqlfront.Prepared, opts Options, planState string, prepDur time.Duration) *Handle {
 	h := &Handle{done: make(chan struct{})}
 	client := opts.Client.orDefault()
 	class := opts.Class.orDefault()
@@ -595,7 +685,8 @@ func (rt *Runtime) submitPrepared(ctx context.Context, p *sqlfront.Prepared, opt
 		}
 	}
 	rt.c.statementsSubmitted.Add(1)
-	j := &job{ctx: ctx, p: p, opts: opts, h: h, client: client, class: class, enqueuedAt: time.Now()}
+	j := &job{ctx: ctx, p: p, opts: opts, h: h, client: client, class: class,
+		enqueuedAt: time.Now(), planState: planState, prepDur: prepDur}
 	if err := rt.queue.push(ctx, j); err != nil {
 		// Admission blocked on a full queue and the statement died waiting
 		// (or the runtime closed underneath it): fail fast instead of
@@ -639,6 +730,9 @@ func (rt *Runtime) worker() {
 			rt.c.statementsDone.Add(1)
 			rt.c.statementsCanceled.Add(1)
 			rt.settleClient(j, nil, wait, 0, true)
+			j.h.summary = StmtSummary{Client: j.client, Class: j.class, QueueWait: wait,
+				Wall: wait + j.prepDur, JCTSeconds: 0, LLMCalls: 0, PromptTokens: 0}
+			j.h.trace = rt.finishTrace(rt.traceRoot(j, wait), j, wait+j.prepDur, err)
 			j.h.err = err
 			close(j.h.done)
 			continue
@@ -658,9 +752,11 @@ func (rt *Runtime) worker() {
 			cfg.PromptCache = rt.prompts
 		}
 		cfg.StageRunner = rt.RunStage
+		cfg.StageObserver = rt.observeStage
+		root := rt.traceRoot(j, wait)
 		si := &stmtInfo{client: j.client, class: j.class}
 		start := time.Now()
-		res, err := j.p.ExecContext(withStmtInfo(j.ctx, si), cfg)
+		res, err := j.p.ExecContext(obs.With(withStmtInfo(j.ctx, si), root), cfg)
 		jct := time.Since(start)
 		rt.c.statementsDone.Add(1)
 		canceled := false
@@ -676,9 +772,75 @@ func (rt *Runtime) worker() {
 		if b := rt.quotaFor(j.client); b != nil {
 			b.debit(time.Now(), si.calls, si.tokens)
 		}
+		sum := StmtSummary{Client: j.client, Class: j.class, QueueWait: wait,
+			Wall: j.prepDur + wait + jct, JCTSeconds: 0, LLMCalls: si.calls, PromptTokens: si.tokens}
+		if res != nil {
+			sum.JCTSeconds = res.JCT
+		}
+		j.h.summary = sum
+		j.h.trace = rt.finishTrace(root, j, sum.Wall, err)
 		j.h.res, j.h.err = res, err
 		close(j.h.done)
 	}
+}
+
+// traceRoot builds the recorder for one admitted statement — nil (the
+// zero-cost path) unless the statement opted in with Options.Trace or the
+// slow-query log is armed. The prepare and admission phases, measured
+// before the recorder existed, are recorded retroactively.
+func (rt *Runtime) traceRoot(j *job, wait time.Duration) *obs.Span {
+	if !j.opts.Trace && rt.cfg.SlowQueryThreshold <= 0 {
+		return nil
+	}
+	start := j.enqueuedAt.Add(-j.prepDur)
+	root := obs.NewSpanAt("statement", start)
+	root.Set("client", string(j.client))
+	root.Set("class", string(j.class))
+	root.ChildAt("prepare", start, j.prepDur).Set("planCache", j.planState)
+	adm := root.ChildAt("admission", j.enqueuedAt, wait)
+	if !rt.cfg.FIFOAdmission {
+		adm.Set("drrRounds", j.drrRounds)
+	}
+	return root
+}
+
+// finishTrace closes and renders one settled statement's trace, retains it
+// in the ring when the statement asked for it or crossed the slow-query
+// threshold, and emits the slow-query log line. Returns the trace for the
+// handle (nil when recording was only armed for the slow log and the
+// statement was fast).
+func (rt *Runtime) finishTrace(root *obs.Span, j *job, wall time.Duration, err error) *obs.Trace {
+	if root == nil {
+		return nil
+	}
+	root.End()
+	slow := rt.cfg.SlowQueryThreshold > 0 && wall >= rt.cfg.SlowQueryThreshold
+	if !j.opts.Trace && !slow {
+		return nil
+	}
+	start := j.enqueuedAt.Add(-j.prepDur)
+	tr := &obs.Trace{
+		SQL:         j.p.SQL(),
+		Client:      string(j.client),
+		Class:       string(j.class),
+		Start:       start,
+		WallSeconds: wall.Seconds(),
+		Slow:        slow,
+		Spans:       root.Tree(start),
+	}
+	if err != nil {
+		tr.Error = err.Error()
+	}
+	rt.traces.Add(tr)
+	if slow && rt.cfg.SlowLogger != nil {
+		rt.cfg.SlowLogger.Warn("slow statement",
+			"sql", tr.SQL,
+			"client", tr.Client,
+			"class", tr.Class,
+			"wallMs", float64(wall.Microseconds())/1e3,
+			"error", tr.Error)
+	}
+	return tr
 }
 
 // settleClient folds one finished (or queue-canceled) statement into its

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -55,6 +57,12 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 			si.calls += int64(st.ModelCalls)
 			si.tokens += st.Metrics.PromptTokens
 		}
+		// Charge the trace exactly what the statement was charged: same
+		// numbers, same place — that identity is the conservation invariant.
+		if sp := obs.FromContext(ctx); sp != nil {
+			sp.Set("direct", true)
+			sp.Charge(int64(st.ModelCalls), st.Metrics.PromptTokens, st.Metrics.JCT)
+		}
 		return st, nil
 	}
 
@@ -65,28 +73,41 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 	seen := make(map[string]bool)
 	var ownedRows []int
 	var ownedKeys []string
+	var hits, inflightJoins, deduped int64
 	for i := 0; i < n; i++ {
 		key := stageRowKey(fp, tbl, spec, i)
 		keys[i] = key
 		if seen[key] {
 			// Duplicate row content within this stage: one computation
 			// serves every copy.
-			rt.c.rowsDeduped.Add(1)
+			deduped++
 			continue
 		}
 		seen[key] = true
 		switch state, val, fl := rt.cache.acquire(key); state {
 		case acquireHit:
-			rt.c.cacheHits.Add(1)
+			hits++
 			vals[key] = val
 		case acquireSubscribed:
-			rt.c.inflightDeduped.Add(1)
+			inflightJoins++
 			subs[key] = fl
 		case acquireOwned:
-			rt.c.cacheMisses.Add(1)
 			ownedRows = append(ownedRows, i)
 			ownedKeys = append(ownedKeys, key)
 		}
+	}
+	rt.c.rowsDeduped.Add(deduped)
+	rt.c.cacheHits.Add(hits)
+	rt.c.inflightDeduped.Add(inflightJoins)
+	rt.c.cacheMisses.Add(int64(len(ownedRows)))
+	rt.rollups.ObserveCache(fp, hits, int64(len(ownedRows)), inflightJoins, deduped)
+	sp := obs.FromContext(ctx)
+	if sp != nil {
+		sp.Set("rows", n)
+		sp.Set("cacheHits", hits)
+		sp.Set("cacheMisses", len(ownedRows))
+		sp.Set("inflightDeduped", inflightJoins)
+		sp.Set("rowsDeduped", deduped)
 	}
 
 	// SolverSeconds and PHC stay zero here unless this stage owns rows, in
@@ -94,6 +115,7 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 	//llmqlint:partial
 	st := &query.StageResult{Spec: spec, Rows: n, ModelCalls: len(ownedRows)}
 	if len(ownedRows) > 0 {
+		parkStart := time.Now()
 		m := rt.batcher.submit(ctx, fp, spec, tbl, ownedRows, qcfg)
 		select {
 		case <-m.done:
@@ -107,6 +129,14 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 				rt.c.abandonedResolved.Add(int64(len(ownedKeys)))
 			}()
 			return nil, ctx.Err()
+		}
+		if sp != nil {
+			park := sp.ChildAt("batch-wait", parkStart, time.Since(parkStart))
+			park.Set("ownedRows", len(ownedRows))
+			park.Set("windowMs", float64(m.window)/float64(time.Millisecond))
+			if m.pulledForward {
+				park.Set("pulledWindowForward", true)
+			}
 		}
 		if m.err != nil {
 			rt.resolveOwned(ownedKeys, m)
@@ -123,28 +153,45 @@ func (rt *Runtime) RunStage(ctx context.Context, spec query.Spec, tbl *table.Tab
 		st.Metrics = m.batch.Metrics
 		st.SolverSeconds = m.batch.SolverSeconds
 		st.PHC = m.batch.PHC
+		// Charge this statement its own rows, and a row-proportional share
+		// of the coalesced run's prompt tokens: the batch total is conserved
+		// across participants (up to integer truncation), so per-client
+		// token accounting sums to the fleet's.
+		var tok int64
+		if m.batch.Rows > 0 {
+			tok = m.batch.Metrics.PromptTokens * int64(len(m.rows)) / int64(m.batch.Rows)
+		}
 		if si := stmtInfoFrom(ctx); si != nil {
-			// Charge this statement its own rows, and a row-proportional
-			// share of the coalesced run's prompt tokens: the batch total is
-			// conserved across participants (up to integer truncation), so
-			// per-client token accounting sums to the fleet's.
 			si.calls += int64(len(ownedRows))
-			if m.batch.Rows > 0 {
-				si.tokens += m.batch.Metrics.PromptTokens * int64(len(m.rows)) / int64(m.batch.Rows)
-			}
+			si.tokens += tok
+		}
+		if sp != nil {
+			// The shared batch span (zero charges, whole-run attrs) joins
+			// this statement's tree; the member's own proportional charge —
+			// the same numbers the statement was charged above — lands on
+			// the stage span so trace totals conserve even when the batch is
+			// shared.
+			sp.Adopt(m.bspan)
+			sp.Charge(int64(len(ownedRows)), tok, m.batch.Metrics.JCT)
 		}
 	}
-	for key, fl := range subs {
-		select {
-		case <-ctx.Done():
-			// A subscription carries no obligation; the owner resolves it.
-			return nil, ctx.Err()
-		case <-fl.done:
+	if len(subs) > 0 {
+		subStart := time.Now()
+		for key, fl := range subs {
+			select {
+			case <-ctx.Done():
+				// A subscription carries no obligation; the owner resolves it.
+				return nil, ctx.Err()
+			case <-fl.done:
+			}
+			if fl.err != nil {
+				return nil, fmt.Errorf("runtime: deduplicated call failed in its owning statement: %w", fl.err)
+			}
+			vals[key] = fl.val
 		}
-		if fl.err != nil {
-			return nil, fmt.Errorf("runtime: deduplicated call failed in its owning statement: %w", fl.err)
+		if sp != nil {
+			sp.ChildAt("inflight-wait", subStart, time.Since(subStart)).Set("calls", len(subs))
 		}
-		vals[key] = fl.val
 	}
 
 	outputs := make([]string, n)

@@ -15,13 +15,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/llmsim"
+	"repro/internal/obs"
 	"repro/internal/pricing"
 	"repro/internal/query"
 	"repro/internal/runtime"
@@ -170,26 +173,46 @@ type SimulateResponse struct {
 	SolverMs      float64 `json:"solverMs"`
 }
 
+// Config wires the optional service collaborators.
+type Config struct {
+	// Runtime, when non-nil, serves POST /v1/sql, GET /v1/metrics, and
+	// GET /v1/traces; those endpoints respond 503 without it.
+	Runtime *runtime.Runtime
+	// AccessLog, when non-nil, gets one structured record per /v1/sql
+	// request: client, class, outcome code, queue wait, JCT, and model calls.
+	AccessLog *slog.Logger
+}
+
 // New builds the stateless service mux (reorder/estimate/simulate only);
 // /v1/sql responds 503 until a runtime is attached via NewWithRuntime.
-func New() http.Handler { return NewWithRuntime(nil) }
+func New() http.Handler { return NewWithConfig(Config{}) }
 
-// NewWithRuntime builds the full service mux. rt, when non-nil, serves
-// POST /v1/sql — LLM-SQL statements over the runtime's registered tables,
-// executed concurrently with cross-query batching and result caching — and
-// GET /v1/metrics, the fleet-wide runtime accounting on its own endpoint
-// (scrapers should not have to run a statement to read it).
+// NewWithRuntime builds the full service mux over rt with no access log.
 func NewWithRuntime(rt *runtime.Runtime) http.Handler {
+	return NewWithConfig(Config{Runtime: rt})
+}
+
+// NewWithConfig builds the full service mux. cfg.Runtime, when non-nil,
+// serves POST /v1/sql — LLM-SQL statements over the runtime's registered
+// tables, executed concurrently with cross-query batching and result caching
+// — GET /v1/metrics, the fleet-wide runtime accounting (JSON by default,
+// Prometheus text with ?format=prometheus or Accept: text/plain), and
+// GET /v1/traces, the retained statement traces (explicitly traced plus
+// slow-query captures).
+func NewWithConfig(cfg Config) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealth)
 	mux.HandleFunc("/v1/reorder", handleReorder)
 	mux.HandleFunc("/v1/estimate", handleEstimate)
 	mux.HandleFunc("/v1/simulate", handleSimulate)
 	mux.HandleFunc("/v1/sql", func(w http.ResponseWriter, r *http.Request) {
-		handleSQL(rt, w, r)
+		handleSQL(cfg, w, r)
 	})
 	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		handleMetrics(rt, w, r)
+		handleMetrics(cfg.Runtime, w, r)
+	})
+	mux.HandleFunc("/v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		handleTraces(cfg.Runtime, w, r)
 	})
 	return mux
 }
@@ -205,6 +228,10 @@ type SQLOptions struct {
 	// "no-cache", "cache-original", or "cache-ggr" ("" keeps the runtime's
 	// default).
 	Policy string `json:"policy,omitempty"`
+	// Trace records a span tree for this statement — EXPLAIN ANALYZE for the
+	// serving path — returned in the response's "trace" field and retained
+	// in GET /v1/traces. Untraced statements pay nothing.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SQLRequest is the /v1/sql body: one LLM-SQL statement over the serving
@@ -255,11 +282,15 @@ type SQLResponse struct {
 	// Deprecated warns, per deprecated request field used, what to use
 	// instead. Absent when the request used only current fields.
 	Deprecated []string `json:"deprecated,omitempty"`
+	// Trace is the statement's span tree, present only when the request set
+	// options.trace. See docs/API.md for the schema.
+	Trace *obs.Trace `json:"trace,omitempty"`
 	// Runtime is the fleet-wide accounting after this statement finished.
 	Runtime runtime.Metrics `json:"runtime"`
 }
 
-func handleSQL(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
+func handleSQL(cfg Config, w http.ResponseWriter, r *http.Request) {
+	rt := cfg.Runtime
 	if rt == nil {
 		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
 			fmt.Errorf("no serving runtime attached; start the server with registered tables (llmqserve -csv/-dataset)"))
@@ -288,6 +319,7 @@ func handleSQL(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
 	if req.Options != nil {
 		opts.Naive = req.Options.Naive
 		opts.Policy = query.Policy(req.Options.Policy)
+		opts.Trace = req.Options.Trace
 	}
 	if req.Naive != nil {
 		deprecated = append(deprecated, `top-level "naive" is deprecated: use options.naive`)
@@ -310,24 +342,42 @@ func handleSQL(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
 		defer cancel()
 	}
-	res, err := rt.ExecContext(ctx, req.SQL, opts)
+	// Submit + Wait (rather than ExecContext) keeps the handle: the settled
+	// summary feeds the access log and the trace rides the response.
+	h := rt.SubmitContext(ctx, req.SQL, opts)
+	res, err := h.Wait()
+	code := "ok"
 	if err != nil {
-		writeExecError(w, err)
-		return
+		code = writeExecError(w, err)
+	} else {
+		resp := SQLResponse{
+			Columns:    res.Columns,
+			Rows:       res.Rows,
+			Client:     string(normalizeClient(req.Client)),
+			Class:      string(class),
+			JCT:        res.JCT,
+			HitRate:    res.HitRate,
+			SolverMs:   res.SolverSeconds * 1000,
+			LLMCalls:   res.LLMCalls,
+			Stages:     res.Stages,
+			Deprecated: deprecated,
+			Runtime:    rt.Metrics(),
+		}
+		if opts.Trace {
+			resp.Trace = h.Trace()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}
-	writeJSON(w, http.StatusOK, SQLResponse{
-		Columns:    res.Columns,
-		Rows:       res.Rows,
-		Client:     string(normalizeClient(req.Client)),
-		Class:      string(class),
-		JCT:        res.JCT,
-		HitRate:    res.HitRate,
-		SolverMs:   res.SolverSeconds * 1000,
-		LLMCalls:   res.LLMCalls,
-		Stages:     res.Stages,
-		Deprecated: deprecated,
-		Runtime:    rt.Metrics(),
-	})
+	if cfg.AccessLog != nil {
+		sum := h.Summary()
+		cfg.AccessLog.Info("sql",
+			"client", string(normalizeClient(req.Client)),
+			"class", string(class),
+			"code", code,
+			"queueWaitMs", float64(sum.QueueWait.Microseconds())/1e3,
+			"jctSeconds", sum.JCTSeconds,
+			"llmCalls", sum.LLMCalls)
+	}
 }
 
 // normalizeClient mirrors the runtime's admission normalization for the
@@ -341,8 +391,9 @@ func normalizeClient(c string) runtime.ClientID {
 
 // writeExecError maps a statement-execution error onto the envelope: quota
 // breaches become 429 with a retry horizon, context deaths keep their
-// cancellation statuses, everything else is an execution failure.
-func writeExecError(w http.ResponseWriter, err error) {
+// cancellation statuses, everything else is an execution failure. It returns
+// the error code it wrote (the access log's outcome field).
+func writeExecError(w http.ResponseWriter, err error) string {
 	var qe *runtime.QuotaError
 	switch {
 	case errors.As(err, &qe):
@@ -356,12 +407,16 @@ func writeExecError(w http.ResponseWriter, err error) {
 			Message:      err.Error(),
 			RetryAfterMs: qe.RetryAfter.Milliseconds(),
 		}})
+		return ErrCodeQuotaExceeded
 	case errors.Is(err, context.Canceled):
 		writeError(w, 499, ErrCodeCanceled, err) // client closed request (nginx convention)
+		return ErrCodeCanceled
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, ErrCodeDeadlineExceeded, err)
+		return ErrCodeDeadlineExceeded
 	default:
 		writeError(w, http.StatusUnprocessableEntity, ErrCodeExecutionFailed, err)
+		return ErrCodeExecutionFailed
 	}
 }
 
@@ -370,7 +425,9 @@ func handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves GET /v1/metrics: the fleet-wide runtime accounting
-// that previously only rode piggybacked on /v1/sql responses.
+// that previously only rode piggybacked on /v1/sql responses. JSON by
+// default; ?format=prometheus (or an Accept header preferring text/plain)
+// switches to the Prometheus text exposition format.
 func handleMetrics(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, fmt.Errorf("use GET"))
@@ -381,7 +438,47 @@ func handleMetrics(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) 
 			fmt.Errorf("no serving runtime attached; start the server with registered tables (llmqserve -csv/-dataset)"))
 		return
 	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json", "prometheus":
+	default:
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest,
+			fmt.Errorf("unknown format %q (want json or prometheus)", format))
+		return
+	}
+	prom := format == "prometheus" ||
+		(format == "" && strings.HasPrefix(r.Header.Get("Accept"), "text/plain"))
+	if prom {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(renderPrometheus(rt.Metrics())))
+		return
+	}
 	writeJSON(w, http.StatusOK, rt.Metrics())
+}
+
+// TracesResponse is the GET /v1/traces body: retained statement traces,
+// newest first — statements that opted in with options.trace plus those the
+// slow-query threshold captured.
+type TracesResponse struct {
+	Traces []*obs.Trace `json:"traces"`
+}
+
+func handleTraces(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	if rt == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+			fmt.Errorf("no serving runtime attached; start the server with registered tables (llmqserve -csv/-dataset)"))
+		return
+	}
+	traces := rt.Traces()
+	if traces == nil {
+		traces = []*obs.Trace{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: traces})
 }
 
 func handleReorder(w http.ResponseWriter, r *http.Request) {

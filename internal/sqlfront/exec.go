@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
 )
@@ -93,6 +94,13 @@ type ExecConfig struct {
 	// query.RunStageContext does. The serving backend itself is selected by
 	// the embedded query.Config.Backend — StageRunner sits above that seam.
 	StageRunner func(ctx context.Context, spec query.Spec, tbl *table.Table, cfg query.Config) (*query.StageResult, error)
+	// StageObserver, when non-nil, receives one StageObservation per LLM
+	// stage the statement executed, after the statement completes
+	// successfully. RowsOut is filled in (and selectivity thereby observed)
+	// only for stages whose output the WHERE cascade consumed to prune the
+	// working relation; projection and aggregate stages report RowsOut = -1.
+	// The serving runtime injects its per-StageKey rollup collector here.
+	StageObserver func(obs.StageObservation)
 }
 
 func (c ExecConfig) filterOut() int {
@@ -225,6 +233,20 @@ func (db *DB) execPlan(ctx context.Context, st *preparedState, cfg ExecConfig) (
 
 	res := &Result{}
 	var promptTok, matchedTok int64
+
+	// Observability: when the statement is traced (a span rides ctx) or a
+	// StageObserver is attached, every LLM stage gets a "stage:<name>" child
+	// span and a StageObservation record. Both are skipped entirely otherwise
+	// — the nil-span fast path keeps untraced statements allocation-free.
+	traceSp := obs.FromContext(ctx)
+	observing := traceSp != nil || cfg.StageObserver != nil
+	type stageRecord struct {
+		ob obs.StageObservation
+		sp *obs.Span
+	}
+	var records []*stageRecord
+	var lastRec *stageRecord
+
 	runStage := func(spec query.Spec, tbl *table.Table) (*query.StageResult, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -233,8 +255,18 @@ func (db *DB) execPlan(ctx context.Context, st *preparedState, cfg ExecConfig) (
 		if cfg.StageRunner != nil {
 			run = cfg.StageRunner
 		}
-		st, err := run(ctx, spec, tbl, cfg.Config)
+		sctx := ctx
+		var sp *obs.Span
+		if observing {
+			sp = traceSp.Child("stage:" + spec.Name)
+			sp.Set("dataset", spec.Dataset)
+			sp.Set("rows", tbl.NumRows())
+			sctx = obs.With(sctx, sp)
+		}
+		st, err := run(sctx, spec, tbl, cfg.Config)
+		sp.End()
 		if err != nil {
+			sp.Set("error", err.Error())
 			return nil, err
 		}
 		res.Stages++
@@ -243,6 +275,24 @@ func (db *DB) execPlan(ctx context.Context, st *preparedState, cfg ExecConfig) (
 		res.LLMCalls += st.ModelCalls
 		promptTok += st.Metrics.PromptTokens
 		matchedTok += st.Metrics.MatchedTokens
+		if observing {
+			lastRec = &stageRecord{
+				ob: obs.StageObservation{
+					StageKey:      query.StageKey(spec, tbl.Columns(), cfg.Config),
+					Name:          spec.Name,
+					Dataset:       spec.Dataset,
+					Rows:          tbl.NumRows(),
+					RowsOut:       -1, // unobserved until the cascade prunes on this stage
+					ModelCalls:    st.ModelCalls,
+					PromptTokens:  st.Metrics.PromptTokens,
+					MatchedTokens: st.Metrics.MatchedTokens,
+					JCTSeconds:    st.Metrics.JCT,
+					SolverSeconds: st.SolverSeconds,
+				},
+				sp: sp,
+			}
+			records = append(records, lastRec)
+		}
 		return st, nil
 	}
 
@@ -292,6 +342,10 @@ func (db *DB) execPlan(ctx context.Context, st *preparedState, cfg ExecConfig) (
 		}
 	}
 	outputs := map[string][]string{}
+	// recordByKey maps a residual call's key to its stage record, so the
+	// prune that consumes the stage's outputs can back-fill the observed
+	// RowsOut (and thereby the stage's selectivity).
+	recordByKey := map[string]*stageRecord{}
 	applyReady := func() error {
 		var ready Expr
 		var rest []Expr
@@ -327,14 +381,29 @@ func (db *DB) execPlan(ctx context.Context, st *preparedState, cfg ExecConfig) (
 			}
 			outputs[k] = kept
 		}
+		for k := range llmKeysOf(ready) {
+			rec := recordByKey[k]
+			if rec == nil || rec.ob.RowsOut >= 0 {
+				continue
+			}
+			rec.ob.RowsOut = len(passing)
+			rec.sp.Set("rowsOut", len(passing))
+			if rec.ob.Rows > 0 {
+				rec.sp.Set("selectivity", float64(len(passing))/float64(rec.ob.Rows))
+			}
+		}
 		return nil
 	}
 	for _, st := range pre {
+		lastRec = nil
 		outs, err := runPlannedStage(st, sc.datasetName(), working, cfg, runStage)
 		if err != nil {
 			return nil, err
 		}
 		outputs[st.Call.Key()] = outs
+		if lastRec != nil {
+			recordByKey[st.Call.Key()] = lastRec
+		}
 		// Naive mode does not cascade: every occurrence-ordered stage runs
 		// over the same unpruned relation, and the WHERE applies once below.
 		if !cfg.Naive {
@@ -374,6 +443,13 @@ func (db *DB) execPlan(ctx context.Context, st *preparedState, cfg ExecConfig) (
 		return nil, err
 	}
 	finishStats(res, promptTok, matchedTok)
+	// Flush observations only on success: a failed statement's partial
+	// stages would skew the per-StageKey rollups.
+	if cfg.StageObserver != nil {
+		for _, rec := range records {
+			cfg.StageObserver(rec.ob)
+		}
+	}
 	return res, nil
 }
 

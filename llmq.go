@@ -44,6 +44,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/obs"
 	"repro/internal/pricing"
 	"repro/internal/query"
 	"repro/internal/runtime"
@@ -384,6 +385,22 @@ type (
 	QuotaError    = runtime.QuotaError
 	ClientStats   = runtime.ClientMetrics
 	WaitHistogram = runtime.WaitHistogram
+)
+
+// Observability: setting RuntimeOptions.Trace (or options.trace on the HTTP
+// API) records a span-per-stage execution trace — EXPLAIN ANALYZE for an
+// LLM-SQL statement — retrievable from the statement's Handle as a Trace
+// whose span tree conserves the statement's charged totals (LLM calls,
+// prompt tokens, JCT). Independent of per-statement tracing, the runtime
+// aggregates per-StageKey rollups (selectivity, cache hit rate, JCT
+// percentiles) surfaced in RuntimeMetrics.Stages, and a slow-query log
+// captures statements over RuntimeConfig.SlowQueryThreshold in a bounded
+// ring (Runtime.Traces, GET /v1/traces).
+type (
+	Trace       = obs.Trace
+	TraceSpan   = obs.SpanTree
+	StageRollup = obs.StageRollup
+	StmtSummary = runtime.StmtSummary
 )
 
 // Service classes: interactive statements get the high admission weight and
