@@ -4,6 +4,9 @@
 //	llmqserve -addr :8080
 //	llmqserve -addr :8080 -csv tickets=tickets.csv -dataset Movies -workers 8
 //	llmqserve -addr :8080 -csv tickets=tickets.csv -backend persistent
+//	llmqserve -addr :8091 -worker -backend persistent                 (cluster worker)
+//	llmqserve -addr :8080 -csv tickets=tickets.csv -backend remote \
+//	    -cluster-workers localhost:8091,localhost:8092               (cluster router)
 //
 // Endpoints (JSON over POST unless noted; the full wire contract, including
 // the structured error envelope every endpoint returns on failure, is in
@@ -53,6 +56,19 @@
 // and fanned out over N concurrent engine runs, cutting batch latency while
 // keeping relations byte-identical.
 //
+// The distributed tier turns one llmqserve into a fleet. -worker runs this
+// process as a cluster worker: POST /v1/batch executes remote batches on
+// the local -backend, /v1/metrics reports the worker's batch accounting,
+// and /healthz turns 503 while draining so routers mark the worker down
+// before shutdown. "-backend remote -cluster-workers host:port,..." runs
+// this process as the router: each batch is consistent-hashed by its stage
+// fingerprint onto the worker ring (so persistent engines stay
+// stage-affine fleet-wide), hot stages replicate onto a second node when
+// the primary saturates, and dead or draining workers fail over to the
+// next ring node. Fan-out width is picked per batch from its group
+// structure and live worker capacity, so -shards does not compose with
+// the remote backend.
+//
 // Observability: logs are structured (log/slog; -log-format json switches
 // from text to JSON). Every /v1/sql request writes one access-log line with
 // the client, class, outcome code, queue wait, JCT, and model calls.
@@ -89,6 +105,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/runtime"
 	"repro/internal/server"
@@ -129,6 +146,8 @@ func main() {
 		slowQuery   = flag.Duration("slow-query", 0, "slow-query threshold: statements at least this slow are logged and their traces retained in /v1/traces (0 disables)")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		debugAddr   = flag.String("debug-addr", "", "separate listen address for pprof and expvar debug endpoints (empty disables; never served on the public address)")
+		workerMode  = flag.Bool("worker", false, "run as a cluster worker: serve POST /v1/batch against the local -backend (no tables or runtime needed)")
+		clusterW    = flag.String("cluster-workers", "", "comma-separated worker addresses for -backend remote (the cluster router)")
 	)
 	flag.Parse()
 
@@ -138,9 +157,17 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	be, err := backend.ByNameShards(*backendName, *shards)
+	be, err := cluster.Resolve(*backendName, *shards, splitWorkers(*clusterW))
 	if err != nil {
 		fatal(err)
+	}
+	var worker *server.Worker
+	if *workerMode {
+		if *backendName == "remote" {
+			fatal(fmt.Errorf("-worker does not compose with -backend remote: a worker serves a local backend"))
+		}
+		worker = server.NewWorker(be, logger)
+		logger.Info("llmqserve: cluster worker mode, serving /v1/batch", "backend", *backendName)
 	}
 
 	var rt *runtime.Runtime
@@ -203,7 +230,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWithConfig(server.Config{Runtime: rt, AccessLog: logger}),
+		Handler:           server.NewWithConfig(server.Config{Runtime: rt, Worker: worker, AccessLog: logger}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -233,6 +260,12 @@ func main() {
 	case <-sigCtx.Done():
 		stop() // restore default signal behavior: a second signal kills hard
 		logger.Info("llmqserve: signal received, draining", "deadline", drain.String())
+		if worker != nil {
+			// Flip the drain flag BEFORE shutting the listener down: /healthz
+			// starts answering 503, so cluster routers mark this worker down
+			// and re-ring its stages while in-flight batches finish below.
+			worker.SetDraining(true)
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
@@ -300,6 +333,18 @@ func shutdown(rt *runtime.Runtime, be backend.Backend, debugSrv *http.Server) {
 	if debugSrv != nil {
 		_ = debugSrv.Close()
 	}
+}
+
+// splitWorkers parses the -cluster-workers flag: comma-separated addresses,
+// empty entries dropped.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -29,8 +29,9 @@
 // ("sim" = one engine per stage batch, "persistent" = long-lived engine
 // replicas whose prefix cache survives between this statement's stages that
 // share a prompt, "sharded-sim"/"sharded-persistent" = the same behind a
-// data-parallel fan-out) and -shards N composes a fan-out of N engine
-// replicas with any of them. None of these change results; serving
+// data-parallel fan-out, "remote" = a cluster router over the workers named
+// by -cluster-workers) and -shards N composes a fan-out of N engine
+// replicas with the local backends. None of these change results; serving
 // statistics print on stderr.
 //
 // Statements run on the same multi-tenant runtime llmqserve serves from, so
@@ -47,7 +48,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/backend"
+	"repro/internal/cluster"
 	"repro/internal/datagen"
 	"repro/internal/query"
 	"repro/internal/runtime"
@@ -77,8 +78,9 @@ func main() {
 		naive   = flag.Bool("naive", false, "disable the logical planner (no pushdown, dedup, or cost-ordered filters)")
 		client  = flag.String("client", "", "client identity the statement is accounted to (default anonymous)")
 		class   = flag.String("class", "", "service class: interactive (default) or batch")
-		beName  = flag.String("backend", "sim", "serving backend: sim, persistent, sharded-sim, or sharded-persistent")
+		beName  = flag.String("backend", "sim", "serving backend: sim, persistent, sharded-sim, sharded-persistent, or remote (cluster router; needs -cluster-workers)")
 		shards  = flag.Int("shards", 1, "data-parallel shards per batch: >1 wraps -backend in a sharded fan-out (sharded-* backends default to 4)")
+		workers = flag.String("cluster-workers", "", "comma-separated worker addresses for -backend remote")
 		maxRows = flag.Int("max-rows", 20, "result rows to print (0 = all)")
 	)
 	flag.Parse()
@@ -132,7 +134,13 @@ func main() {
 		register(name, t)
 	}
 
-	be, err := backend.ByNameShards(*beName, *shards)
+	var workerAddrs []string
+	for _, a := range strings.Split(*workers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			workerAddrs = append(workerAddrs, a)
+		}
+	}
+	be, err := cluster.Resolve(*beName, *shards, workerAddrs)
 	if err != nil {
 		fatal(err)
 	}

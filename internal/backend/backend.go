@@ -124,8 +124,13 @@ func ByNameShards(name string, shards int) (Backend, error) {
 		be = NewSim()
 	case "persistent":
 		be = NewPersistent(0)
+	case "remote":
+		// The remote backend exists (NewRemote / cluster.Router) but needs
+		// worker addresses this resolver does not carry; both CLIs resolve it
+		// through cluster.Resolve, which delegates every other name back here.
+		return nil, fmt.Errorf("backend: backend %q needs cluster worker addresses: pass -cluster-workers host:port,... (resolved via cluster.Resolve)", name)
 	default:
-		return nil, fmt.Errorf("backend: unknown backend %q: want sim, persistent, sharded-sim, or sharded-persistent", name)
+		return nil, fmt.Errorf("backend: unknown backend %q: want sim, persistent, sharded-sim, sharded-persistent, or remote", name)
 	}
 	if shards > 1 {
 		return NewSharded(be, shards)

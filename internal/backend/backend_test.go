@@ -58,6 +58,7 @@ func backends() map[string]func() backend.Backend {
 		"recording":          func() backend.Backend { return backend.NewRecording(nil) },
 		"sharded-sim":        func() backend.Backend { return mustShard(backend.NewSim()) },
 		"sharded-persistent": func() backend.Backend { return mustShard(backend.NewPersistent(0)) },
+		"remote":             newRemoteConformance,
 	}
 }
 

@@ -105,47 +105,33 @@ func (s *Sharded) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, er
 	if s.shards == 1 || len(spec.Groups) <= 1 || len(spec.Requests) < 2 {
 		return s.inner.RunBatch(ctx, spec)
 	}
-	if err := validGroups(spec.Groups, len(spec.Requests)); err != nil {
+	parts, err := SplitByGroups(spec, s.shards)
+	if err != nil {
 		return BatchResult{}, err
 	}
-
-	bins := core.PackGroups(groupWeights(spec), s.shards)
-	if len(bins) <= 1 {
+	if len(parts) <= 1 {
 		return s.inner.RunBatch(ctx, spec)
-	}
-	subs := make([][]*llmsim.Request, len(bins))
-	for b, groups := range bins {
-		var reqs []*llmsim.Request
-		for _, g := range groups {
-			start, end := groupBounds(spec, g)
-			reqs = append(reqs, spec.Requests[start:end]...)
-		}
-		subs[b] = reqs
 	}
 
 	// The backend span (attached by the query layer) gets the fan-out width
 	// and one completed child per shard. Span mutation is mutex-guarded, so
 	// the concurrent shard goroutines may annotate the same parent.
 	sp := obs.FromContext(ctx)
-	sp.Set("shards", len(subs))
+	sp.Set("shards", len(parts))
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([]BatchResult, len(subs))
-	errs := make([]error, len(subs))
+	results := make([]BatchResult, len(parts))
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
-	for b, reqs := range subs {
+	for b, part := range parts {
 		wg.Add(1)
-		go func(b int, reqs []*llmsim.Request) {
+		go func(b int, part BatchSpec) {
 			defer wg.Done()
 			shardStart := time.Now()
-			results[b], errs[b] = s.inner.RunBatch(runCtx, BatchSpec{
-				StageKey: spec.StageKey,
-				Requests: reqs,
-				Engine:   spec.Engine,
-			})
+			results[b], errs[b] = s.inner.RunBatch(runCtx, part)
 			if sp != nil {
 				c := sp.ChildAt(fmt.Sprintf("shard-%d", b), shardStart, time.Since(shardStart))
-				c.Set("requests", len(reqs))
+				c.Set("requests", len(part.Requests))
 				if errs[b] == nil {
 					c.Set("jctSeconds", results[b].Metrics.JCT)
 				}
@@ -153,7 +139,7 @@ func (s *Sharded) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, er
 			if errs[b] != nil {
 				cancel() // fail fast: peers stop between engine steps
 			}
-		}(b, reqs)
+		}(b, part)
 	}
 	wg.Wait()
 	var firstErr error
@@ -182,23 +168,70 @@ func (s *Sharded) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, er
 	}
 
 	s.shardedBatches.Add(1)
-	s.shardRuns.Add(int64(len(subs)))
+	s.shardRuns.Add(int64(len(parts)))
+	sizes := make([]int, len(parts))
+	for b, part := range parts {
+		sizes[b] = len(part.Requests)
+		s.shardJCTMicros.Add(int64(results[b].Metrics.JCT * 1e6))
+	}
+	return MergeBatchResults(results, sizes), nil
+}
+
+// SplitByGroups partitions spec at its prefix-group boundaries into at most
+// n sub-batches, balanced by request-token weight (core.PackGroups greedy).
+// Sub-batches inherit the StageKey and Engine but carry no Groups annotation
+// — they are leaves, not further splittable without prefix-hit loss. A batch
+// that should not be split (n < 2, no or single group annotation, fewer than
+// two requests) returns a single-element slice holding spec unchanged; an
+// invalid Groups annotation is an error.
+func SplitByGroups(spec BatchSpec, n int) ([]BatchSpec, error) {
+	if n < 2 || len(spec.Groups) <= 1 || len(spec.Requests) < 2 {
+		return []BatchSpec{spec}, nil
+	}
+	if err := validGroups(spec.Groups, len(spec.Requests)); err != nil {
+		return nil, err
+	}
+	bins := core.PackGroups(groupWeights(spec), n)
+	if len(bins) <= 1 {
+		return []BatchSpec{spec}, nil
+	}
+	parts := make([]BatchSpec, len(bins))
+	for b, groups := range bins {
+		var reqs []*llmsim.Request
+		for _, g := range groups {
+			start, end := groupBounds(spec, g)
+			reqs = append(reqs, spec.Requests[start:end]...)
+		}
+		parts[b] = BatchSpec{StageKey: spec.StageKey, Requests: reqs, Engine: spec.Engine}
+	}
+	return parts, nil
+}
+
+// MergeBatchResults folds the results of concurrently served sub-batches
+// back into one BatchResult with the parallel-run semantics every fan-out
+// backend (Sharded, cluster.Router) shares: JCT is the slowest part, step
+// and token counts sum, mean latency is request-weighted (sizes holds each
+// part's request count), and tail percentiles / peak concurrency report the
+// worst part — a conservative merge, since exact percentiles would need the
+// per-request samples the seam does not carry.
+func MergeBatchResults(results []BatchResult, sizes []int) BatchResult {
 	merged := BatchResult{}
 	var latWeighted float64
+	var total int
 	for b, r := range results {
-		s.shardJCTMicros.Add(int64(r.Metrics.JCT * 1e6))
 		merged.ModelCalls += r.ModelCalls
 		m := &merged.Metrics
 		sm := r.Metrics
 		if sm.JCT > m.JCT {
-			m.JCT = sm.JCT // shards run in parallel: batch JCT is the slowest shard
+			m.JCT = sm.JCT // parts run in parallel: batch JCT is the slowest part
 		}
 		m.Steps += sm.Steps
 		m.PromptTokens += sm.PromptTokens
 		m.MatchedTokens += sm.MatchedTokens
 		m.PrefilledTokens += sm.PrefilledTokens
 		m.DecodeTokens += sm.DecodeTokens
-		latWeighted += sm.MeanLatency * float64(len(subs[b]))
+		latWeighted += sm.MeanLatency * float64(sizes[b])
+		total += sizes[b]
 		if sm.P50Latency > m.P50Latency {
 			m.P50Latency = sm.P50Latency
 		}
@@ -217,10 +250,10 @@ func (s *Sharded) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, er
 		m.Cache.EvictedBlocks += sm.Cache.EvictedBlocks
 		m.Cache.Rejections += sm.Cache.Rejections
 	}
-	if len(spec.Requests) > 0 {
-		merged.Metrics.MeanLatency = latWeighted / float64(len(spec.Requests))
+	if total > 0 {
+		merged.Metrics.MeanLatency = latWeighted / float64(total)
 	}
-	return merged, nil
+	return merged
 }
 
 // Close closes the wrapped backend.

@@ -1,0 +1,119 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/llmsim"
+	"repro/internal/tokenizer"
+)
+
+// This file is the /v1/batch wire contract: the JSON forms of BatchSpec and
+// BatchResult that backend.Remote sends to a cluster worker and the worker's
+// handler decodes back. Token IDs travel as-is — the tokenizer interns
+// deterministically, and the oracle answers on the ROUTER side (answers are
+// content-keyed above the seam), so a worker only ever accounts serving
+// cost; it never needs to detokenize. Request result fields
+// (Matched/StartTime/EndTime) are engine-internal and deliberately excluded:
+// nothing above the seam consumes them, so they do not round-trip.
+
+// WireRequest is one tokenized request on the wire.
+type WireRequest struct {
+	ID        int               `json:"id"`
+	Prompt    []tokenizer.Token `json:"prompt"`
+	OutTokens int               `json:"outTokens"`
+}
+
+// WireBatch is the POST /v1/batch request body: a JSON-encoded BatchSpec
+// plus the originating tenant's identity, so the worker's access log and
+// per-client accounting attribute remote batches to the client that caused
+// them rather than to the router process.
+type WireBatch struct {
+	StageKey string `json:"stageKey"`
+	// Client / Class identify the originating tenant ("" means anonymous /
+	// interactive). A batch coalesced from several tenants' statements
+	// travels as client "shared".
+	Client   string        `json:"client,omitempty"`
+	Class    string        `json:"class,omitempty"`
+	Requests []WireRequest `json:"requests"`
+	Groups   []int         `json:"groups,omitempty"`
+	// Engine is the llmsim.Config verbatim (field names are the wire
+	// contract); its Trace writer is process-local and always travels null.
+	Engine llmsim.Config `json:"engine"`
+}
+
+// WireResult is the POST /v1/batch success body: a BatchResult verbatim.
+//
+// Counting fields are conserved accounting: the llmqlint accounting
+// analyzer rejects keyed literals that set some counters and omit others.
+//
+//llmqlint:accounting
+type WireResult struct {
+	Metrics    llmsim.Metrics `json:"metrics"`
+	ModelCalls int            `json:"modelCalls"`
+}
+
+// EncodeWireBatch renders spec for the wire under the given tenant
+// identity, stripping the process-local Trace writer from the engine config.
+func EncodeWireBatch(spec BatchSpec, ci ClientInfo) WireBatch {
+	reqs := make([]WireRequest, len(spec.Requests))
+	for i, r := range spec.Requests {
+		reqs[i] = WireRequest{ID: r.ID, Prompt: r.Prompt, OutTokens: r.OutTokens}
+	}
+	eng := spec.Engine
+	eng.Trace = nil
+	return WireBatch{
+		StageKey: spec.StageKey,
+		Client:   ci.Client,
+		Class:    ci.Class,
+		Requests: reqs,
+		Groups:   spec.Groups,
+		Engine:   eng,
+	}
+}
+
+// Spec materializes the wire batch back into a BatchSpec, validating the
+// group annotation (the same check a sharding backend applies before
+// cutting at group boundaries).
+func (wb WireBatch) Spec() (BatchSpec, error) {
+	if len(wb.Requests) == 0 {
+		return BatchSpec{}, fmt.Errorf("backend: wire batch has no requests")
+	}
+	if err := validGroups(wb.Groups, len(wb.Requests)); err != nil {
+		return BatchSpec{}, err
+	}
+	reqs := make([]*llmsim.Request, len(wb.Requests))
+	for i, r := range wb.Requests {
+		reqs[i] = &llmsim.Request{ID: r.ID, Prompt: r.Prompt, OutTokens: r.OutTokens}
+	}
+	return BatchSpec{
+		StageKey: wb.StageKey,
+		Requests: reqs,
+		Groups:   wb.Groups,
+		Engine:   wb.Engine,
+	}, nil
+}
+
+// ClientInfo is the tenant identity a serving layer may attach to the
+// context it hands a Backend, so a network backend can attribute the batch
+// on the remote side. The zero value means anonymous interactive traffic.
+type ClientInfo struct {
+	Client string
+	Class  string
+}
+
+type clientInfoKey struct{}
+
+// WithClientInfo returns ctx carrying the tenant identity for downstream
+// backends. The runtime attaches it wherever it attaches its own statement
+// accounting, so remote batches are attributed fleet-wide.
+func WithClientInfo(ctx context.Context, ci ClientInfo) context.Context {
+	return context.WithValue(ctx, clientInfoKey{}, ci)
+}
+
+// ClientInfoFrom recovers the tenant identity; the zero ClientInfo when the
+// batch runs outside an identity-aware serving layer.
+func ClientInfoFrom(ctx context.Context) ClientInfo {
+	ci, _ := ctx.Value(clientInfoKey{}).(ClientInfo)
+	return ci
+}

@@ -1,0 +1,31 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+)
+
+// Resolve is the fleet-aware backend resolver both CLIs share: the name
+// "remote" builds a Router over the given worker addresses, and every other
+// name delegates to backend.ByNameShards — one source of truth, so the
+// local and distributed flag surfaces cannot drift apart.
+//
+// shards composes only with local backends: the router picks its fan-out
+// width per batch from group structure and live worker capacity, so a
+// static shard count is rejected rather than silently ignored.
+func Resolve(name string, shards int, workers []string) (backend.Backend, error) {
+	if name == "remote" {
+		if len(workers) == 0 {
+			return nil, fmt.Errorf("cluster: backend %q needs worker addresses: pass -cluster-workers host:port,...", name)
+		}
+		if shards > 1 {
+			return nil, fmt.Errorf("cluster: -shards does not compose with backend %q: the router picks fan-out per batch from groups and live capacity", name)
+		}
+		return NewRouter(Config{Workers: workers})
+	}
+	if len(workers) > 0 {
+		return nil, fmt.Errorf("cluster: -cluster-workers only composes with -backend remote, got %q", name)
+	}
+	return backend.ByNameShards(name, shards)
+}

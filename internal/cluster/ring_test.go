@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingStability pins the consistent-hash property the stage-affine tier
+// rests on: growing the fleet by one worker moves only the keys the new
+// worker claims (~1/N of them), and every moved key lands on the newcomer —
+// no existing stage is shuffled between surviving workers.
+func TestRingStability(t *testing.T) {
+	old3 := []string{"w1:8080", "w2:8080", "w3:8080"}
+	r3, err := newRing(old3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := newRing(append(append([]string{}, old3...), "w4:8080"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 1000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("stage-%d", i)
+		before, after := r3.owner(key), r4.owner(key)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != "w4:8080" {
+			t.Errorf("key %q moved %s -> %s: moved keys must land on the new worker", key, before, after)
+		}
+	}
+	// Ideal movement is 1/4 of the keys; allow generous slack for hash
+	// variance but reject anything near a full reshuffle.
+	if frac := float64(moved) / keys; frac > 0.45 {
+		t.Errorf("adding one worker moved %.0f%% of keys, want ~25%%", frac*100)
+	}
+	if moved == 0 {
+		t.Error("adding a worker moved no keys: the newcomer would stay idle")
+	}
+	t.Logf("moved %d/%d keys (%.1f%%)", moved, keys, float64(moved)/keys*100)
+}
+
+// TestRingOrdered: the failover preference list starts at the owner, covers
+// every distinct worker exactly once, and is stable per key.
+func TestRingOrdered(t *testing.T) {
+	addrs := []string{"a:1", "b:1", "c:1", "d:1"}
+	r, err := newRing(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("stage-%d", i)
+		got := r.ordered(key)
+		if len(got) != len(addrs) {
+			t.Fatalf("ordered(%q) has %d workers, want %d", key, len(got), len(addrs))
+		}
+		if got[0] != r.owner(key) {
+			t.Errorf("ordered(%q)[0] = %s, owner = %s", key, got[0], r.owner(key))
+		}
+		seen := map[string]bool{}
+		for _, a := range got {
+			if seen[a] {
+				t.Errorf("ordered(%q) repeats %s", key, a)
+			}
+			seen[a] = true
+		}
+		if again := r.ordered(key); fmt.Sprint(again) != fmt.Sprint(got) {
+			t.Errorf("ordered(%q) is not stable: %v vs %v", key, got, again)
+		}
+	}
+}
+
+// TestRingConstructionErrors: empty fleets, empty addresses, and duplicates
+// are configuration mistakes, not runtime surprises.
+func TestRingConstructionErrors(t *testing.T) {
+	for _, addrs := range [][]string{
+		nil,
+		{""},
+		{"w1:8080", "w1:8080"},
+	} {
+		if _, err := newRing(addrs); err == nil {
+			t.Errorf("newRing(%q) succeeded, want error", addrs)
+		}
+	}
+}

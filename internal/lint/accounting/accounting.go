@@ -43,17 +43,23 @@ var Analyzer = &analysis.Analyzer{
 // package fact propagation, so the canonical result types are listed here
 // (each also carries the in-source annotation for readers).
 var knownTypes = map[string]bool{
-	"repro/internal/backend.BatchResult":   true,
-	"repro/internal/backend.ShardStats":    true,
-	"repro/internal/backend.RecordedBatch": true,
-	"repro/internal/query.StageResult":     true,
-	"repro/internal/llmsim.Metrics":        true,
-	"repro/internal/kvcache.Stats":         true,
-	"repro/internal/runtime.ClientMetrics": true,
-	"repro/internal/runtime.WaitHistogram": true,
-	"repro/internal/obs.SpanTree":          true,
-	"repro/internal/obs.StageObservation":  true,
-	"repro/internal/obs.StageRollup":       true,
+	"repro/internal/backend.BatchResult":      true,
+	"repro/internal/backend.ShardStats":       true,
+	"repro/internal/backend.RecordedBatch":    true,
+	"repro/internal/backend.WireResult":       true,
+	"repro/internal/backend.RemoteStats":      true,
+	"repro/internal/cluster.WorkerMetrics":    true,
+	"repro/internal/cluster.Metrics":          true,
+	"repro/internal/server.WorkerStats":       true,
+	"repro/internal/server.WorkerClientStats": true,
+	"repro/internal/query.StageResult":        true,
+	"repro/internal/llmsim.Metrics":           true,
+	"repro/internal/kvcache.Stats":            true,
+	"repro/internal/runtime.ClientMetrics":    true,
+	"repro/internal/runtime.WaitHistogram":    true,
+	"repro/internal/obs.SpanTree":             true,
+	"repro/internal/obs.StageObservation":     true,
+	"repro/internal/obs.StageRollup":          true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/table"
@@ -58,6 +59,12 @@ type member struct {
 	window        time.Duration
 	pulledForward bool
 	bspan         *obs.Span
+
+	// client / class identify the submitting statement (captured at submit,
+	// since the flush runs on a detached context): a single-tenant batch is
+	// attributed to that tenant on remote workers, a mixed one to "shared".
+	client ClientID
+	class  Class
 }
 
 // group accumulates members with one fingerprint until flush.
@@ -86,6 +93,9 @@ func newBatcher(rt *Runtime) *batcher {
 func (b *batcher) submit(ctx context.Context, fp string, spec query.Spec, tbl *table.Table, rows []int, qcfg query.Config) *member {
 	m := &member{spec: spec, tbl: tbl, rows: rows, done: make(chan struct{}),
 		traced: obs.FromContext(ctx) != nil}
+	if si := stmtInfoFrom(ctx); si != nil {
+		m.client, m.class = si.client, si.class
+	}
 	window := b.rt.cfg.windowFor(classFrom(ctx))
 	m.window = window
 	now := time.Now()
@@ -235,9 +245,19 @@ func (b *batcher) run(g *group, members []*member) {
 	// one must not starve the others (a canceled member's reservations are
 	// settled by its detached resolver when this run lands — see RunStage).
 	// The shared batch span rides the detached context so the query and
-	// backend layers annotate it.
+	// backend layers annotate it; so does the batch's tenant identity, so a
+	// network backend attributes the batch on the remote worker: a batch
+	// whose members all belong to one tenant travels as that tenant, a
+	// coalesced multi-tenant batch as client "shared".
+	ci := backend.ClientInfo{Client: string(members[0].client), Class: string(members[0].class)}
+	for _, m := range members[1:] {
+		if m.client != members[0].client {
+			ci = backend.ClientInfo{Client: "shared", Class: ""}
+			break
+		}
+	}
 	//llmqlint:detached -- batch outlives any single member statement's context
-	bctx := obs.With(context.Background(), bsp)
+	bctx := obs.With(backend.WithClientInfo(context.Background(), ci), bsp)
 	st, err := query.RunStageContext(bctx, spec, combined, g.qcfg)
 	if err != nil {
 		bsp.Set("error", err.Error())

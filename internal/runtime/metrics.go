@@ -3,6 +3,7 @@ package runtime
 import (
 	"sync/atomic"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 )
 
@@ -143,6 +144,11 @@ type Metrics struct {
 	// and latencies a future planner re-ranks cascades with. Nil until an
 	// LLM stage has executed.
 	Stages map[string]obs.StageRollup `json:"stages,omitempty"`
+
+	// Cluster is the distributed tier's fleet accounting — per-worker
+	// batches/retries/errors/markdowns, ring moves, hot-stage replications —
+	// present only when the serving backend is a cluster.Router.
+	Cluster *cluster.Metrics `json:"cluster,omitempty"`
 }
 
 // ClientMetrics is one client's slice of the fleet accounting.

@@ -78,6 +78,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sqlfront"
@@ -435,6 +436,10 @@ func (rt *Runtime) Metrics() Metrics {
 		s := sh.Stats()
 		m.ShardedBatches, m.ShardRuns, m.ShardJCTSeconds = s.ShardedBatches, s.ShardRuns, s.ShardJCTSeconds
 	}
+	if cr, ok := rt.servingBackend().(*cluster.Router); ok {
+		cm := cr.Metrics()
+		m.Cluster = &cm
+	}
 	rt.clientMu.Lock()
 	if len(rt.clients) > 0 {
 		m.Clients = make(map[ClientID]ClientMetrics, len(rt.clients))
@@ -756,7 +761,12 @@ func (rt *Runtime) worker() {
 		root := rt.traceRoot(j, wait)
 		si := &stmtInfo{client: j.client, class: j.class}
 		start := time.Now()
-		res, err := j.p.ExecContext(obs.With(withStmtInfo(j.ctx, si), root), cfg)
+		// The tenant identity also rides as backend.ClientInfo so a network
+		// backend (cluster router → remote worker) attributes direct-path
+		// batches to the originating client; the batcher re-derives it per
+		// coalesced batch from its members.
+		ectx := backend.WithClientInfo(j.ctx, backend.ClientInfo{Client: string(j.client), Class: string(j.class)})
+		res, err := j.p.ExecContext(obs.With(withStmtInfo(ectx, si), root), cfg)
 		jct := time.Since(start)
 		rt.c.statementsDone.Add(1)
 		canceled := false

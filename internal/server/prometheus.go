@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/runtime"
 )
 
@@ -72,6 +73,39 @@ func renderPrometheus(m runtime.Metrics) string {
 	w.row("llmq_prompt_cache_hits_total", "", float64(m.PromptCacheHits))
 	w.family("llmq_prompt_cache_misses_total", "counter", "Prompt tokenizations computed afresh.")
 	w.row("llmq_prompt_cache_misses_total", "", float64(m.PromptCacheMisses))
+
+	// Distributed-tier families, present only when the serving backend is a
+	// cluster.Router.
+	if m.Cluster != nil {
+		c := m.Cluster
+		addrs := make([]string, 0, len(c.Workers))
+		for a := range c.Workers {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		workerRows := func(name, typ, help string, get func(cluster.WorkerMetrics) float64) {
+			w.family(name, typ, help)
+			for _, a := range addrs {
+				w.row(name, labels("worker", a), get(c.Workers[a]))
+			}
+		}
+		workerRows("llmq_cluster_worker_batches_total", "counter", "Remote batches served per worker.",
+			func(wm cluster.WorkerMetrics) float64 { return float64(wm.Batches) })
+		workerRows("llmq_cluster_worker_retries_total", "counter", "Remote batch retries per worker.",
+			func(wm cluster.WorkerMetrics) float64 { return float64(wm.Retries) })
+		workerRows("llmq_cluster_worker_errors_total", "counter", "Remote batches failed per worker.",
+			func(wm cluster.WorkerMetrics) float64 { return float64(wm.Errors) })
+		workerRows("llmq_cluster_worker_markdowns_total", "counter", "Health mark-down transitions per worker.",
+			func(wm cluster.WorkerMetrics) float64 { return float64(wm.Markdowns) })
+		workerRows("llmq_cluster_worker_inflight", "gauge", "Batches currently dispatched per worker.",
+			func(wm cluster.WorkerMetrics) float64 { return float64(wm.InFlight) })
+		workerRows("llmq_cluster_worker_down", "gauge", "1 while the worker is marked down.",
+			func(wm cluster.WorkerMetrics) float64 { return boolGauge(wm.Down) })
+		w.family("llmq_cluster_ring_moves_total", "counter", "Batches served off their ring owner (failover).")
+		w.row("llmq_cluster_ring_moves_total", "", float64(c.RingMoves))
+		w.family("llmq_cluster_hot_replications_total", "counter", "Batches that replicated a hot stage onto a second worker.")
+		w.row("llmq_cluster_hot_replications_total", "", float64(c.HotReplications))
+	}
 
 	w.family("llmq_sharded_batches_total", "counter", "Batches split across engine replicas.")
 	w.row("llmq_sharded_batches_total", "", float64(m.ShardedBatches))

@@ -178,8 +178,14 @@ type Config struct {
 	// Runtime, when non-nil, serves POST /v1/sql, GET /v1/metrics, and
 	// GET /v1/traces; those endpoints respond 503 without it.
 	Runtime *runtime.Runtime
+	// Worker, when non-nil, serves POST /v1/batch against its local backend
+	// (cluster worker mode, llmqserve -worker); without it that endpoint
+	// responds 503. A draining worker also answers 503 on /healthz so
+	// cluster routers mark it down before shutdown.
+	Worker *Worker
 	// AccessLog, when non-nil, gets one structured record per /v1/sql
 	// request: client, class, outcome code, queue wait, JCT, and model calls.
+	// A Worker logs its /v1/batch requests to the same logger.
 	AccessLog *slog.Logger
 }
 
@@ -201,15 +207,20 @@ func NewWithRuntime(rt *runtime.Runtime) http.Handler {
 // slow-query captures).
 func NewWithConfig(cfg Config) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", handleHealth)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		handleHealth(cfg, w, r)
+	})
 	mux.HandleFunc("/v1/reorder", handleReorder)
 	mux.HandleFunc("/v1/estimate", handleEstimate)
 	mux.HandleFunc("/v1/simulate", handleSimulate)
 	mux.HandleFunc("/v1/sql", func(w http.ResponseWriter, r *http.Request) {
 		handleSQL(cfg, w, r)
 	})
+	mux.HandleFunc("/v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleBatch(cfg, w, r)
+	})
 	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		handleMetrics(cfg.Runtime, w, r)
+		handleMetrics(cfg, w, r)
 	})
 	mux.HandleFunc("/v1/traces", func(w http.ResponseWriter, r *http.Request) {
 		handleTraces(cfg.Runtime, w, r)
@@ -420,20 +431,29 @@ func writeExecError(w http.ResponseWriter, err error) string {
 	}
 }
 
-func handleHealth(w http.ResponseWriter, r *http.Request) {
+// handleHealth answers liveness probes. A draining worker reports 503 so
+// cluster routers mark it down and fail its stages over while in-flight
+// batches finish under graceful shutdown.
+func handleHealth(cfg Config, w http.ResponseWriter, r *http.Request) {
+	if cfg.Worker != nil && cfg.Worker.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // handleMetrics serves GET /v1/metrics: the fleet-wide runtime accounting
 // that previously only rode piggybacked on /v1/sql responses. JSON by
 // default; ?format=prometheus (or an Accept header preferring text/plain)
-// switches to the Prometheus text exposition format.
-func handleMetrics(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) {
+// switches to the Prometheus text exposition format. A runtime-less cluster
+// worker serves its batch accounting instead.
+func handleMetrics(cfg Config, w http.ResponseWriter, r *http.Request) {
+	rt := cfg.Runtime
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	if rt == nil {
+	if rt == nil && cfg.Worker == nil {
 		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
 			fmt.Errorf("no serving runtime attached; start the server with registered tables (llmqserve -csv/-dataset)"))
 		return
@@ -448,6 +468,18 @@ func handleMetrics(rt *runtime.Runtime, w http.ResponseWriter, r *http.Request) 
 	}
 	prom := format == "prometheus" ||
 		(format == "" && strings.HasPrefix(r.Header.Get("Accept"), "text/plain"))
+	if rt == nil {
+		// Worker mode: batch-serving accounting only.
+		st := cfg.Worker.Stats()
+		if prom {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(renderWorkerPrometheus(st)))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]WorkerStats{"worker": st})
+		return
+	}
 	if prom {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)

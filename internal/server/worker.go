@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend"
+)
+
+// Worker is a cluster worker's serving state: the local backend that
+// POST /v1/batch executes against, the drain flag the graceful-shutdown
+// path and /healthz share, and per-client batch accounting so remote
+// batches stay attributed to the tenant that caused them (the identity
+// rides the wire envelope — see backend.WireBatch).
+type Worker struct {
+	be  backend.Backend
+	log *slog.Logger
+
+	draining atomic.Bool
+	batches  atomic.Int64
+	errors   atomic.Int64
+	rows     atomic.Int64
+
+	mu      sync.Mutex
+	clients map[string]*workerClient // guarded by mu
+}
+
+// workerClient is one tenant's batch counters on this worker.
+type workerClient struct {
+	batches int64
+	rows    int64
+}
+
+// NewWorker builds the worker state over the local backend be. log, when
+// non-nil, gets one structured record per /v1/batch request.
+func NewWorker(be backend.Backend, log *slog.Logger) *Worker {
+	return &Worker{be: be, log: log, clients: make(map[string]*workerClient)}
+}
+
+// SetDraining flips the drain flag: a draining worker answers 503 on
+// /healthz (so routers mark it down and re-ring its stages) and refuses new
+// /v1/batch work while in-flight batches finish under the server's graceful
+// shutdown.
+func (wk *Worker) SetDraining(v bool) { wk.draining.Store(v) }
+
+// Draining reports the drain flag.
+func (wk *Worker) Draining() bool { return wk.draining.Load() }
+
+// record accounts one served batch to its originating tenant.
+func (wk *Worker) record(client string, rows int) {
+	wk.batches.Add(1)
+	wk.rows.Add(int64(rows))
+	if client == "" {
+		client = "anon"
+	}
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	c := wk.clients[client]
+	if c == nil {
+		c = &workerClient{}
+		wk.clients[client] = c
+	}
+	c.batches++
+	c.rows += int64(rows)
+}
+
+// WorkerStats is the worker's batch-serving accounting, the /v1/metrics
+// body in worker mode.
+//
+// Counting fields are conserved accounting: the llmqlint accounting
+// analyzer rejects keyed literals that set some counters and omit others.
+//
+//llmqlint:accounting
+type WorkerStats struct {
+	// Batches counts batches served; Errors the batches that failed; Rows
+	// the requests across served batches.
+	Batches int64 `json:"batches"`
+	Errors  int64 `json:"errors"`
+	Rows    int64 `json:"rows"`
+	// Clients maps originating tenant to its share.
+	Clients map[string]WorkerClientStats `json:"clients,omitempty"`
+	// Draining reports the drain flag.
+	Draining bool `json:"draining"`
+}
+
+// WorkerClientStats is one tenant's share of a worker's batches.
+//
+// Counting fields are conserved accounting: the llmqlint accounting
+// analyzer rejects keyed literals that set some counters and omit others.
+//
+//llmqlint:accounting
+type WorkerClientStats struct {
+	Batches int64 `json:"batches"`
+	Rows    int64 `json:"rows"`
+}
+
+// Stats snapshots the worker counters.
+func (wk *Worker) Stats() WorkerStats {
+	st := WorkerStats{
+		Batches:  wk.batches.Load(),
+		Errors:   wk.errors.Load(),
+		Rows:     wk.rows.Load(),
+		Draining: wk.Draining(),
+	}
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	if len(wk.clients) > 0 {
+		st.Clients = make(map[string]WorkerClientStats, len(wk.clients))
+		for id, c := range wk.clients {
+			st.Clients[id] = WorkerClientStats{Batches: c.batches, Rows: c.rows}
+		}
+	}
+	return st
+}
+
+// handleBatch serves POST /v1/batch: one backend.WireBatch executed on the
+// worker's local backend, answering a backend.WireResult — the wire half of
+// backend.Remote. Errors ride the uniform /v1 envelope, so the router's
+// failover logic dispatches on the same codes every client does.
+func handleBatch(cfg Config, w http.ResponseWriter, r *http.Request) {
+	wk := cfg.Worker
+	if wk == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+			fmt.Errorf("not a cluster worker; start the server with -worker"))
+		return
+	}
+	if wk.Draining() {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+			fmt.Errorf("worker is draining"))
+		return
+	}
+	var wb backend.WireBatch
+	if !readJSON(w, r, &wb) {
+		return
+	}
+	spec, err := wb.Spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err)
+		return
+	}
+	// The request context already dies with the router's connection; the
+	// deadline header additionally bounds the run when the caller's budget
+	// is tighter than the transport's view of it.
+	ctx := r.Context()
+	if h := r.Header.Get(backend.DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest,
+				fmt.Errorf("invalid %s header %q", backend.DeadlineHeader, h))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := wk.be.RunBatch(ctx, spec)
+	code := "ok"
+	switch {
+	case err == nil:
+		wk.record(wb.Client, len(spec.Requests))
+		writeJSON(w, http.StatusOK, backend.WireResult{Metrics: res.Metrics, ModelCalls: res.ModelCalls})
+	case errors.Is(err, context.Canceled):
+		wk.errors.Add(1)
+		code = ErrCodeCanceled
+		writeError(w, 499, ErrCodeCanceled, err) // client closed request (nginx convention)
+	case errors.Is(err, context.DeadlineExceeded):
+		wk.errors.Add(1)
+		code = ErrCodeDeadlineExceeded
+		writeError(w, http.StatusGatewayTimeout, ErrCodeDeadlineExceeded, err)
+	default:
+		wk.errors.Add(1)
+		code = ErrCodeExecutionFailed
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeExecutionFailed, err)
+	}
+	if wk.log != nil {
+		client := wb.Client
+		if client == "" {
+			client = "anon"
+		}
+		wk.log.Info("batch",
+			"client", client,
+			"class", wb.Class,
+			"stageKey", shortStageKey(wb.StageKey),
+			"rows", len(spec.Requests),
+			"code", code,
+			"wallMs", float64(time.Since(start).Microseconds())/1e3)
+	}
+}
+
+// shortStageKey truncates the stage fingerprint for log lines; full keys
+// run to hundreds of bytes.
+func shortStageKey(k string) string {
+	if len(k) > 32 {
+		return k[:32] + "…"
+	}
+	return k
+}
+
+// renderWorkerPrometheus serializes the worker's batch accounting in the
+// Prometheus text exposition format — the worker-mode half of /v1/metrics.
+func renderWorkerPrometheus(st WorkerStats) string {
+	var b strings.Builder
+	w := promWriter{b: &b}
+	w.family("llmq_worker_batches_total", "counter", "Remote batches served by this worker.")
+	w.row("llmq_worker_batches_total", "", float64(st.Batches))
+	w.family("llmq_worker_errors_total", "counter", "Remote batches that failed on this worker.")
+	w.row("llmq_worker_errors_total", "", float64(st.Errors))
+	w.family("llmq_worker_rows_total", "counter", "Requests served across remote batches.")
+	w.row("llmq_worker_rows_total", "", float64(st.Rows))
+	w.family("llmq_worker_draining", "gauge", "1 while the worker is draining.")
+	w.row("llmq_worker_draining", "", boolGauge(st.Draining))
+	if len(st.Clients) > 0 {
+		ids := make([]string, 0, len(st.Clients))
+		for id := range st.Clients {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		w.family("llmq_worker_client_batches_total", "counter", "Remote batches per originating client.")
+		for _, id := range ids {
+			w.row("llmq_worker_client_batches_total", labels("client", id), float64(st.Clients[id].Batches))
+		}
+		w.family("llmq_worker_client_rows_total", "counter", "Requests per originating client.")
+		for _, id := range ids {
+			w.row("llmq_worker_client_rows_total", labels("client", id), float64(st.Clients[id].Rows))
+		}
+	}
+	return b.String()
+}
+
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/llmsim"
+	"repro/internal/tokenizer"
+)
+
+func wireBatch(client, class string, rows int) backend.WireBatch {
+	wb := backend.WireBatch{
+		StageKey: "worker-test-stage",
+		Client:   client,
+		Class:    class,
+		Engine: llmsim.Config{
+			Cost:         llmsim.CostModel{Model: llmsim.Llama3_8B, Cluster: llmsim.SingleL4},
+			CacheEnabled: true,
+		},
+	}
+	for i := 0; i < rows; i++ {
+		wb.Requests = append(wb.Requests, backend.WireRequest{
+			ID:        i,
+			Prompt:    make([]tokenizer.Token, 12),
+			OutTokens: 4,
+		})
+	}
+	return wb
+}
+
+func workerHandler() (http.Handler, *Worker) {
+	wk := NewWorker(backend.NewSim(), nil)
+	return NewWithConfig(Config{Worker: wk}), wk
+}
+
+func TestWorkerBatchEndpoint(t *testing.T) {
+	h, wk := workerHandler()
+	rec := post(t, h, "/v1/batch", wireBatch("dashboard-1", "batch", 3))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	res := decode[backend.WireResult](t, rec)
+	if res.ModelCalls != 3 {
+		t.Errorf("model calls = %d, want 3", res.ModelCalls)
+	}
+	if res.Metrics.PromptTokens == 0 {
+		t.Error("result carries no prompt accounting")
+	}
+	st := wk.Stats()
+	if st.Batches != 1 || st.Rows != 3 || st.Errors != 0 {
+		t.Errorf("stats = %+v, want 1 batch / 3 rows / 0 errors", st)
+	}
+	if c := st.Clients["dashboard-1"]; c.Batches != 1 || c.Rows != 3 {
+		t.Errorf("client share = %+v, want {Batches:1 Rows:3}", c)
+	}
+
+	// Anonymous batches account under "anon".
+	post(t, h, "/v1/batch", wireBatch("", "", 2))
+	if c := wk.Stats().Clients["anon"]; c.Batches != 1 || c.Rows != 2 {
+		t.Errorf("anon share = %+v, want {Batches:1 Rows:2}", c)
+	}
+}
+
+func TestWorkerBatchRejections(t *testing.T) {
+	h, wk := workerHandler()
+
+	// GET is not allowed (readJSON's POST-only contract).
+	req := httptest.NewRequest(http.MethodGet, "/v1/batch", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", rec.Code)
+	}
+
+	// Malformed JSON.
+	req = httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader("{nope"))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d, want 400", rec.Code)
+	}
+
+	// Valid JSON, invalid spec: no requests.
+	rec = post(t, h, "/v1/batch", backend.WireBatch{StageKey: "empty"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d, want 400", rec.Code)
+	}
+	env := decode[struct {
+		Error struct{ Code, Message string } `json:"error"`
+	}](t, rec)
+	if env.Error.Code != ErrCodeInvalidRequest {
+		t.Errorf("error code = %q, want %q", env.Error.Code, ErrCodeInvalidRequest)
+	}
+
+	// Invalid group annotation.
+	wb := wireBatch("", "", 2)
+	wb.Groups = []int{1, 0} // out of order
+	rec = post(t, h, "/v1/batch", wb)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad groups status = %d, want 400", rec.Code)
+	}
+
+	// Invalid deadline header.
+	b := post(t, h, "/v1/batch", wireBatch("", "", 1)) // warm-up sanity
+	if b.Code != http.StatusOK {
+		t.Fatalf("sanity batch status = %d", b.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(`{"stageKey":"x","requests":[{"id":0,"prompt":[1],"outTokens":1}],"engine":{}}`))
+	req.Header.Set(backend.DeadlineHeader, "not-a-number")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad deadline header status = %d, want 400", rec.Code)
+	}
+
+	// Rejections never count as served batches.
+	if st := wk.Stats(); st.Batches != 1 {
+		t.Errorf("served batches = %d, want 1 (only the sanity batch)", st.Batches)
+	}
+}
+
+func TestWorkerBatchWithoutWorker(t *testing.T) {
+	// A plain (non -worker) server refuses /v1/batch with 503.
+	rec := post(t, New(), "/v1/batch", wireBatch("", "", 1))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", rec.Code)
+	}
+}
+
+func TestWorkerDraining(t *testing.T) {
+	h, wk := workerHandler()
+	wk.SetDraining(true)
+
+	// Draining refuses new batches...
+	rec := post(t, h, "/v1/batch", wireBatch("", "", 1))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining batch status = %d, want 503", rec.Code)
+	}
+
+	// ...and flips /healthz to 503 so routers mark the worker down.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	hrec := httptest.NewRecorder()
+	h.ServeHTTP(hrec, req)
+	if hrec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining /healthz status = %d, want 503", hrec.Code)
+	}
+
+	wk.SetDraining(false)
+	hrec = httptest.NewRecorder()
+	h.ServeHTTP(hrec, req)
+	if hrec.Code != http.StatusOK {
+		t.Errorf("recovered /healthz status = %d, want 200", hrec.Code)
+	}
+}
+
+func TestWorkerMetricsEndpoint(t *testing.T) {
+	h, _ := workerHandler()
+	if rec := post(t, h, "/v1/batch", wireBatch("tenant-a", "batch", 2)); rec.Code != http.StatusOK {
+		t.Fatalf("batch status = %d", rec.Code)
+	}
+
+	// JSON form.
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := decode[map[string]WorkerStats](t, rec)
+	if body["worker"].Batches != 1 || body["worker"].Rows != 2 {
+		t.Errorf("worker metrics = %+v, want 1 batch / 2 rows", body["worker"])
+	}
+
+	// Prometheus form.
+	req = httptest.NewRequest(http.MethodGet, "/v1/metrics?format=prometheus", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("prometheus status = %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"llmq_worker_batches_total 1",
+		"llmq_worker_rows_total 2",
+		"llmq_worker_draining 0",
+		`llmq_worker_client_batches_total{client="tenant-a"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}

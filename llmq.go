@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/obs"
@@ -327,6 +328,14 @@ type (
 	ShardedBackend    = backend.Sharded
 	RecordingBackend  = backend.Recording
 	RecordedBatch     = backend.RecordedBatch
+	// RemoteBackend serves batches on a cluster worker over POST /v1/batch;
+	// ClusterRouter consistent-hashes stage fingerprints across a worker
+	// fleet (stage-affine placement, capacity-driven fan-out, health-checked
+	// failover). Both implement Backend; see internal/cluster.
+	RemoteBackend       = backend.Remote
+	RemoteBackendConfig = backend.RemoteConfig
+	ClusterRouter       = cluster.Router
+	ClusterConfig       = cluster.Config
 )
 
 // NewSimBackend returns the default per-batch backend: one confined engine
@@ -355,6 +364,18 @@ func NewShardedBackend(inner Backend, shards int) (*ShardedBackend, error) {
 // a log of every batch served — stage key, rows, output budgets, engine
 // metrics — for tests and metrics pipelines.
 func NewRecordingBackend(inner Backend) *RecordingBackend { return backend.NewRecording(inner) }
+
+// NewRemoteBackend returns a backend serving every batch on the cluster
+// worker at cfg.Addr over POST /v1/batch, with context deadline propagation
+// and bounded retries on transient failures. Start the worker with
+// `llmqserve -worker`.
+func NewRemoteBackend(cfg RemoteBackendConfig) (*RemoteBackend, error) { return backend.NewRemote(cfg) }
+
+// NewClusterRouter returns the fleet backend: batches are consistent-hashed
+// by stage fingerprint onto the worker ring so persistent engines stay
+// stage-affine across nodes, fanned out by live spare capacity, replicated
+// off a saturated primary, and failed over past dead or draining workers.
+func NewClusterRouter(cfg ClusterConfig) (*ClusterRouter, error) { return cluster.NewRouter(cfg) }
 
 // --- serving runtime -----------------------------------------------------------
 
