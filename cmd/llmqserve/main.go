@@ -107,6 +107,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/datagen"
+	"repro/internal/faults"
 	"repro/internal/runtime"
 	"repro/internal/server"
 	"repro/internal/sqlfront"
@@ -148,6 +149,8 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "separate listen address for pprof and expvar debug endpoints (empty disables; never served on the public address)")
 		workerMode  = flag.Bool("worker", false, "run as a cluster worker: serve POST /v1/batch against the local -backend (no tables or runtime needed)")
 		clusterW    = flag.String("cluster-workers", "", "comma-separated worker addresses for -backend remote (the cluster router)")
+		faultSpec   = flag.String("faults", "", "chaos fault-injection spec (see docs/API.md): on a -worker it corrupts/aborts/delays served responses; with -backend remote it faults router→worker traffic")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "with -backend remote: hedge a batch to the next ring node after this long without an answer (0 = adaptive p99, negative disables)")
 	)
 	flag.Parse()
 
@@ -157,9 +160,27 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	be, err := cluster.Resolve(*backendName, *shards, splitWorkers(*clusterW))
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		if injector, err = faults.Parse(*faultSpec); err != nil {
+			fatal(err)
+		}
+		logger.Warn("llmqserve: CHAOS MODE, fault injection armed", "spec", *faultSpec)
+	}
+
+	clusterCfg := cluster.Config{HedgeAfter: *hedgeAfter}
+	if injector != nil && !*workerMode {
+		// Router-side chaos rides the router's HTTP client, faulting the
+		// wire between router and workers.
+		clusterCfg.HTTPClient = &http.Client{Transport: faults.NewRoundTripper(nil, injector)}
+	}
+	be, err := cluster.Resolve(*backendName, *shards, splitWorkers(*clusterW), clusterCfg)
 	if err != nil {
 		fatal(err)
+	}
+	if injector != nil && !*workerMode && *backendName != "remote" {
+		// Local-backend chaos wraps the serving path directly.
+		be = faults.NewBackend(be, injector)
 	}
 	var worker *server.Worker
 	if *workerMode {
@@ -228,9 +249,17 @@ func main() {
 		logger.Info("llmqserve: no tables registered; /v1/sql disabled (use -csv/-dataset)")
 	}
 
+	router, _ := be.(*cluster.Router)
+	handler := server.NewWithConfig(server.Config{Runtime: rt, Worker: worker, Cluster: router, AccessLog: logger})
+	if injector != nil && *workerMode {
+		// Worker-side chaos faults the wire as served: 5xx answers, corrupt
+		// bodies, aborted connections, latched crashes — including /healthz,
+		// so routers see exactly what a dead process looks like.
+		handler = faults.Middleware(injector, handler)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewWithConfig(server.Config{Runtime: rt, Worker: worker, AccessLog: logger}),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      5 * time.Minute,

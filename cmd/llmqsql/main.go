@@ -45,11 +45,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/datagen"
+	"repro/internal/faults"
 	"repro/internal/query"
 	"repro/internal/runtime"
 	"repro/internal/sqlfront"
@@ -82,6 +84,7 @@ func main() {
 		shards  = flag.Int("shards", 1, "data-parallel shards per batch: >1 wraps -backend in a sharded fan-out (sharded-* backends default to 4)")
 		workers = flag.String("cluster-workers", "", "comma-separated worker addresses for -backend remote")
 		maxRows = flag.Int("max-rows", 20, "result rows to print (0 = all)")
+		faultsF = flag.String("faults", "", "chaos fault-injection spec (see docs/API.md): faults the serving path — router→worker wire with -backend remote, the local backend otherwise")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -140,9 +143,22 @@ func main() {
 			workerAddrs = append(workerAddrs, a)
 		}
 	}
-	be, err := cluster.Resolve(*beName, *shards, workerAddrs)
+	var injector *faults.Injector
+	var clusterCfg cluster.Config
+	if *faultsF != "" {
+		var err error
+		if injector, err = faults.Parse(*faultsF); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "llmqsql: CHAOS MODE, fault injection armed: %s\n", *faultsF)
+		clusterCfg.HTTPClient = &http.Client{Transport: faults.NewRoundTripper(nil, injector)}
+	}
+	be, err := cluster.Resolve(*beName, *shards, workerAddrs, clusterCfg)
 	if err != nil {
 		fatal(err)
+	}
+	if injector != nil && *beName != "remote" {
+		be = faults.NewBackend(be, injector)
 	}
 	defer be.Close()
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -29,21 +30,27 @@ import (
 // bounds its own run even if the connection lingers.
 //
 // Retries: connect errors and 5xx responses (a draining or overloaded
-// worker answers 503) are retried with doubling backoff up to MaxRetries;
-// 4xx responses are deterministic rejections and never retried. Accounting
-// is conserved across retries by construction — only the single successful
-// attempt's BatchResult is returned, and failed attempts contribute no
-// metrics (the Retries counter is observability, not accounting).
+// worker answers 503) are retried with equal-jitter doubling backoff up to
+// MaxRetries; 4xx responses are deterministic rejections and never retried.
+// A worker's Retry-After header (a draining 503 carries one) overrides the
+// local backoff for that wait. When a shared RetryBudget is configured,
+// every retry first withdraws a token; an empty budget fails the batch fast
+// with ErrRetryBudgetExhausted instead of amplifying a fleet-wide outage.
+// Accounting is conserved across retries by construction — only the single
+// successful attempt's BatchResult is returned, and failed attempts
+// contribute no metrics (the Retries counter is observability, not
+// accounting).
 type Remote struct {
 	addr string
 	url  string
 	hc   *http.Client
 	cfg  RemoteConfig
 
-	batches atomic.Int64
-	retries atomic.Int64
-	errors  atomic.Int64
-	closed  atomic.Bool
+	batches      atomic.Int64
+	retries      atomic.Int64
+	errors       atomic.Int64
+	budgetDenied atomic.Int64
+	closed       atomic.Bool
 }
 
 var _ Backend = (*Remote)(nil)
@@ -62,9 +69,15 @@ type RemoteConfig struct {
 	// MaxRetries bounds retry attempts after the first try on connect
 	// errors and 5xx responses (default 2; negative disables retries).
 	MaxRetries int
-	// RetryBackoff is the first retry's backoff, doubled per attempt
-	// (default 25ms).
+	// RetryBackoff is the first retry's base backoff, doubled per attempt
+	// and equal-jittered (default 25ms).
 	RetryBackoff time.Duration
+	// Budget, when non-nil, is a retry budget shared across every Remote on
+	// one router: each batch deposits, each retry withdraws, and an empty
+	// budget fails the batch fast with ErrRetryBudgetExhausted.
+	Budget *RetryBudget
+	// NoJitter disables backoff jitter for tests that pin exact timing.
+	NoJitter bool
 }
 
 func (c RemoteConfig) maxRetries() int {
@@ -114,18 +127,22 @@ func (r *Remote) Addr() string { return r.addr }
 type RemoteStats struct {
 	// Batches counts batches served successfully; Retries the extra
 	// attempts (beyond each batch's first) that connect errors or 5xx
-	// responses cost; Errors the batches that failed after every retry.
-	Batches int64
-	Retries int64
-	Errors  int64
+	// responses cost; Errors the batches that failed after every retry;
+	// BudgetDenied the batches failed fast because the shared retry budget
+	// was empty (a subset of Errors).
+	Batches      int64
+	Retries      int64
+	Errors       int64
+	BudgetDenied int64
 }
 
 // Stats snapshots the dispatch counters.
 func (r *Remote) Stats() RemoteStats {
 	return RemoteStats{
-		Batches: r.batches.Load(),
-		Retries: r.retries.Load(),
-		Errors:  r.errors.Load(),
+		Batches:      r.batches.Load(),
+		Retries:      r.retries.Load(),
+		Errors:       r.errors.Load(),
+		BudgetDenied: r.budgetDenied.Load(),
 	}
 }
 
@@ -138,6 +155,10 @@ type RemoteError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the worker's requested wait before the next attempt
+	// (from the Retry-After header a draining 503 carries); zero means the
+	// worker expressed no preference and the client's own backoff applies.
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string {
@@ -175,16 +196,36 @@ func (r *Remote) RunBatch(ctx context.Context, spec BatchSpec) (BatchResult, err
 	sp.Set("requests", len(spec.Requests))
 	defer sp.End()
 
+	r.cfg.Budget.Deposit()
 	var lastErr error
 	backoff := r.cfg.retryBackoff()
 	for attempt := 0; attempt <= r.cfg.maxRetries(); attempt++ {
 		if attempt > 0 {
+			if !r.cfg.Budget.Withdraw() {
+				r.budgetDenied.Add(1)
+				r.errors.Add(1)
+				sp.Set("error", ErrRetryBudgetExhausted.Error())
+				return BatchResult{}, fmt.Errorf("backend: remote %s: %w (last attempt: %w)",
+					r.addr, ErrRetryBudgetExhausted, lastErr)
+			}
 			r.retries.Add(1)
 			sp.Set("retries", attempt)
+			wait := backoff
+			if !r.cfg.NoJitter {
+				// Equal jitter: [backoff/2, backoff) keeps the mean high
+				// enough to matter while decorrelating a retry stampede.
+				wait = backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+			}
+			// A worker that said how long it needs (Retry-After on a
+			// draining 503) knows better than our local schedule.
+			var re *RemoteError
+			if errors.As(lastErr, &re) && re.RetryAfter > 0 {
+				wait = re.RetryAfter
+			}
 			select {
 			case <-ctx.Done():
 				return BatchResult{}, ctx.Err()
-			case <-time.After(backoff):
+			case <-time.After(wait):
 			}
 			backoff *= 2
 		}
@@ -237,6 +278,13 @@ func (r *Remote) attempt(ctx context.Context, body []byte) (BatchResult, error) 
 	}
 	if resp.StatusCode != http.StatusOK {
 		re := &RemoteError{Addr: r.addr, Status: resp.StatusCode, Code: "internal"}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			// Integer seconds per RFC 9110; fractional seconds are accepted
+			// leniently so a fleet can ask for sub-second waits.
+			if secs, err := strconv.ParseFloat(ra, 64); err == nil && secs > 0 {
+				re.RetryAfter = time.Duration(secs * float64(time.Second))
+			}
+		}
 		var env wireEnvelope
 		if jsonErr := json.Unmarshal(data, &env); jsonErr == nil && env.Error.Code != "" {
 			re.Code, re.Message = env.Error.Code, env.Error.Message

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingRebalanceMovement pins the consistent-hash property live
+// rebalance rests on: adding one worker to a fleet of N moves roughly 1/N+1
+// of the keys — all of them TO the joiner — and removing one moves exactly
+// the leaver's keys, nothing else.
+func TestRingRebalanceMovement(t *testing.T) {
+	const keys = 2000
+	key := func(i int) string { return fmt.Sprintf("stage-%d#sql-where", i) }
+
+	base := []string{"w1:1", "w2:1", "w3:1"}
+	r3 := mustRing(t, base)
+	r4 := mustRing(t, append(append([]string{}, base...), "w4:1"))
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		a, b := r3.owner(key(i)), r4.owner(key(i))
+		if a == b {
+			continue
+		}
+		moved++
+		if b != "w4:1" {
+			t.Fatalf("key %d moved %s -> %s, not to the joiner", i, a, b)
+		}
+	}
+	// Ideal movement is 1/4 = 25%; vnode variance allows a band around it.
+	if frac := float64(moved) / keys; frac < 0.12 || frac > 0.40 {
+		t.Errorf("join moved %.1f%% of keys, want ~25%% (1/N band 12–40%%)", frac*100)
+	}
+
+	// Removing w2 moves exactly its keys; survivors keep theirs.
+	r2 := mustRing(t, []string{"w1:1", "w3:1"})
+	movedOut, kept := 0, 0
+	for i := 0; i < keys; i++ {
+		a, b := r3.owner(key(i)), r2.owner(key(i))
+		if a == "w2:1" {
+			movedOut++
+			if b == "w2:1" {
+				t.Fatalf("key %d still owned by the removed worker", i)
+			}
+			continue
+		}
+		if a != b {
+			t.Fatalf("key %d moved %s -> %s although its owner survived", i, a, b)
+		}
+		kept++
+	}
+	if movedOut == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: movedOut=%d kept=%d", movedOut, kept)
+	}
+	t.Logf("join moved %d/%d keys; leave moved %d/%d", moved, keys, movedOut, keys)
+}
+
+func mustRing(t *testing.T, addrs []string) *ring {
+	t.Helper()
+	r, err := newRing(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -14,7 +14,11 @@ import (
 // shards composes only with local backends: the router picks its fan-out
 // width per batch from group structure and live worker capacity, so a
 // static shard count is rejected rather than silently ignored.
-func Resolve(name string, shards int, workers []string) (backend.Backend, error) {
+//
+// cfg carries router tuning (hedge delay, breaker thresholds, a chaos
+// HTTPClient, ...); its Workers field is overridden by the workers
+// argument. The zero Config is the production default.
+func Resolve(name string, shards int, workers []string, cfg Config) (backend.Backend, error) {
 	if name == "remote" {
 		if len(workers) == 0 {
 			return nil, fmt.Errorf("cluster: backend %q needs worker addresses: pass -cluster-workers host:port,...", name)
@@ -22,7 +26,8 @@ func Resolve(name string, shards int, workers []string) (backend.Backend, error)
 		if shards > 1 {
 			return nil, fmt.Errorf("cluster: -shards does not compose with backend %q: the router picks fan-out per batch from groups and live capacity", name)
 		}
-		return NewRouter(Config{Workers: workers})
+		cfg.Workers = workers
+		return NewRouter(cfg)
 	}
 	if len(workers) > 0 {
 		return nil, fmt.Errorf("cluster: -cluster-workers only composes with -backend remote, got %q", name)

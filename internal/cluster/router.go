@@ -28,22 +28,47 @@ type Config struct {
 	// ring node (default: Capacity).
 	ReplicateWatermark int
 	// HealthInterval is the period between health sweeps (default 2s;
-	// negative disables the health loop — workers are then only marked
-	// down by failed batches).
+	// negative disables the health loop — worker circuits are then only
+	// opened by failed batches and never close without traffic).
 	HealthInterval time.Duration
 	// HealthTimeout bounds one health probe (default 500ms).
 	HealthTimeout time.Duration
-	// MarkdownAfter is how many consecutive probe/batch failures mark a
-	// worker down (default 2; a failed batch counts MarkdownAfter at once,
-	// since it already survived the remote backend's own retries).
+	// MarkdownAfter is the circuit breaker's consecutive-failure threshold:
+	// how many consecutive probe failures open a worker's circuit (default
+	// 2; a failed batch counts MarkdownAfter at once, since it already
+	// survived the remote backend's own retries).
 	MarkdownAfter int
+	// BreakerCooldown is how long an opened circuit blocks before one
+	// half-open probe batch is admitted (default 1s). Health probes are
+	// never blocked, and a healthy probe answer closes the circuit early.
+	BreakerCooldown time.Duration
+	// BreakerWindow / BreakerMinSamples / BreakerErrorRate open the circuit
+	// on failure rate: with at least BreakerMinSamples outcomes in a
+	// rolling window of BreakerWindow, a failure fraction at or above
+	// BreakerErrorRate opens the circuit even without a consecutive streak
+	// (defaults 20 / 10 / 0.5).
+	BreakerWindow     int
+	BreakerMinSamples int
+	BreakerErrorRate  float64
+	// HedgeAfter controls hedged batch sends: after this long without an
+	// answer, the same part is also dispatched to the next admitted ring
+	// node and the first answer wins (the loser is canceled; only the
+	// winner's result is merged, so accounting never double-charges). Zero
+	// derives the delay from the router's observed p99 batch latency;
+	// negative disables hedging.
+	HedgeAfter time.Duration
 	// MaxRetries / RetryBackoff configure each worker's backend.Remote
 	// (see backend.RemoteConfig); failover to the next ring node happens
 	// only after a worker exhausts these.
 	MaxRetries   int
 	RetryBackoff time.Duration
+	// RetryBudgetRatio / RetryBudgetBurst size the retry budget shared by
+	// every worker's Remote (see backend.RetryBudget; defaults 0.2 / 10).
+	// RetryBudgetBurst < 0 disables the budget.
+	RetryBudgetRatio float64
+	RetryBudgetBurst int
 	// HTTPClient is shared by batch dispatch and health probes; nil builds
-	// a default client.
+	// a default client. Chaos runs mount a faults.RoundTripper here.
 	HTTPClient *http.Client
 }
 
@@ -82,59 +107,46 @@ func (c Config) markdownAfter() int {
 	return 2
 }
 
-// worker is the router's view of one fleet member.
+func (c Config) breaker() breakerConfig {
+	return breakerConfig{
+		threshold:  c.markdownAfter(),
+		window:     c.BreakerWindow,
+		minSamples: c.BreakerMinSamples,
+		errorRate:  c.BreakerErrorRate,
+		cooldown:   c.BreakerCooldown,
+	}
+}
+
+// defaultHedgeDelay is the adaptive hedge delay before any latency samples
+// exist — deliberately conservative so a cold router does not hedge its
+// first batches.
+const defaultHedgeDelay = 250 * time.Millisecond
+
+// worker is the router's view of one fleet member. A worker's "down" state
+// is its circuit breaker being non-closed.
 type worker struct {
 	addr      string
 	healthURL string
 	remote    *backend.Remote
 	capacity  int
+	cb        *breaker
 
-	inflight  atomic.Int64 // batches currently dispatched to this worker
-	markdowns atomic.Int64 // up→down transitions
-
-	mu       sync.Mutex
-	down     bool // guarded by mu
-	failures int  // guarded by mu
+	inflight atomic.Int64 // batches currently dispatched to this worker
 }
 
-func (w *worker) isDown() bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.down
-}
-
-// noteFailure records n consecutive failures and marks the worker down at
-// the threshold; it reports whether this call made the up→down transition.
-func (w *worker) noteFailure(n, markdownAfter int) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.failures += n
-	if w.failures >= markdownAfter && !w.down {
-		w.down = true
-		w.markdowns.Add(1)
-		return true
-	}
-	return false
-}
-
-// noteSuccess resets the failure streak and marks the worker back up.
-func (w *worker) noteSuccess() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.failures = 0
-	w.down = false
-}
+func (w *worker) isDown() bool { return w.cb.isOpen() }
 
 // Router is the cluster Backend: it consistent-hashes each batch's StageKey
 // onto the worker ring so persistent engines stay stage-affine fleet-wide,
 // fans a grouped batch out across workers sized by live capacity, and
-// degrades — not fails — when workers die or drain.
+// degrades — not fails — when workers die, drain, or lie.
 //
 // Placement per batch:
 //
-//  1. The ring names the stage's owner; a health-marked-down owner fails
-//     over to the next distinct ring node (counted as a ring move), so a
-//     draining worker's stages land deterministically on its successor.
+//  1. The ring names the stage's owner; an owner whose circuit breaker is
+//     open fails over to the next distinct ring node (counted as a ring
+//     move), so a broken worker's stages land deterministically on its
+//     successor.
 //  2. If the primary is saturated (in-flight ≥ ReplicateWatermark) the next
 //     ring node joins as a replica target (counted as a hot replication):
 //     the stage's prefix warms on a second node, trading one extra warm-up
@@ -144,28 +156,56 @@ func (w *worker) noteSuccess() {
 //     chosen targets), never a static flag: the batch splits along its
 //     prefix-group boundaries (backend.SplitByGroups) and parts go to the
 //     least-loaded target first.
-//  4. A part whose worker fails (after backend.Remote's own retries) marks
-//     that worker down and retries on the next ring node; deterministic 4xx
-//     rejections and the caller's own cancellation do not fail over.
+//  4. A part without an answer after the hedge delay is also dispatched to
+//     the next admitted ring node; the first answer wins and the loser is
+//     canceled — only the winner's result merges, so hedges never
+//     double-charge.
+//  5. A part whose worker fails (after backend.Remote's own retries) feeds
+//     that worker's circuit breaker and retries on the next ring node;
+//     deterministic 4xx rejections and the caller's own cancellation do
+//     not fail over.
+//
+// The fleet is live: AddWorker/RemoveWorker rebalance the consistent-hash
+// ring on a running router (~1/N of stages move), in-flight batches drain
+// on their old assignment, and removed workers stop counting toward ring
+// moves the moment they leave.
 //
 // Results merge with backend.MergeBatchResults, so accounting is conserved:
 // each part's tokens and calls count exactly once however many workers were
 // tried.
 type Router struct {
-	ring    *ring
-	workers map[string]*worker // immutable after construction
-	cfg     Config
+	cfg    Config
+	hc     *http.Client
+	budget *backend.RetryBudget
+
+	mu      sync.RWMutex
+	ring    *ring              // guarded by mu
+	workers map[string]*worker // guarded by mu
 
 	ringMoves       atomic.Int64
 	hotReplications atomic.Int64
+	hedgesLaunched  atomic.Int64
+	hedgeWins       atomic.Int64
+	hedgesCanceled  atomic.Int64
+	rebalanceJoins  atomic.Int64
+	rebalanceLeaves atomic.Int64
+
+	latMu   sync.Mutex
+	lats    []time.Duration // successful-batch latency reservoir; guarded by latMu
+	latNext int             // next reservoir slot; guarded by latMu
 
 	closed   atomic.Bool
 	stopOnce sync.Once
 	stop     chan struct{}
 	loopDone sync.WaitGroup
+	drains   sync.WaitGroup
 }
 
 var _ backend.Backend = (*Router)(nil)
+
+// latencyWindow is the reservoir size the adaptive hedge delay derives its
+// p99 from.
+const latencyWindow = 128
 
 // NewRouter builds the router and starts its health loop.
 func NewRouter(cfg Config) (*Router, error) {
@@ -177,29 +217,19 @@ func NewRouter(cfg Config) (*Router, error) {
 	if hc == nil {
 		hc = &http.Client{}
 	}
+	var budget *backend.RetryBudget
+	if cfg.RetryBudgetBurst >= 0 {
+		budget = backend.NewRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst)
+	}
 	workers := make(map[string]*worker, len(cfg.Workers))
 	for _, addr := range cfg.Workers {
-		rem, err := backend.NewRemote(backend.RemoteConfig{
-			Addr:         addr,
-			Client:       hc,
-			MaxRetries:   cfg.MaxRetries,
-			RetryBackoff: cfg.RetryBackoff,
-		})
+		w, err := newWorker(cfg, hc, budget, addr)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: worker %s: %w", addr, err)
+			return nil, err
 		}
-		base := addr
-		if !strings.Contains(base, "://") {
-			base = "http://" + base
-		}
-		workers[addr] = &worker{
-			addr:      addr,
-			healthURL: strings.TrimRight(base, "/") + "/healthz",
-			remote:    rem,
-			capacity:  cfg.capacity(),
-		}
+		workers[addr] = w
 	}
-	rt := &Router{ring: rg, workers: workers, cfg: cfg, stop: make(chan struct{})}
+	rt := &Router{cfg: cfg, hc: hc, budget: budget, ring: rg, workers: workers, stop: make(chan struct{})}
 	if cfg.healthInterval() > 0 {
 		rt.loopDone.Add(1)
 		go rt.healthLoop(hc)
@@ -207,8 +237,35 @@ func NewRouter(cfg Config) (*Router, error) {
 	return rt, nil
 }
 
-// Workers lists the fleet's addresses, sorted.
+// newWorker builds the router's view of one fleet member.
+func newWorker(cfg Config, hc *http.Client, budget *backend.RetryBudget, addr string) (*worker, error) {
+	rem, err := backend.NewRemote(backend.RemoteConfig{
+		Addr:         addr,
+		Client:       hc,
+		MaxRetries:   cfg.MaxRetries,
+		RetryBackoff: cfg.RetryBackoff,
+		Budget:       budget,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %s: %w", addr, err)
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &worker{
+		addr:      addr,
+		healthURL: strings.TrimRight(base, "/") + "/healthz",
+		remote:    rem,
+		capacity:  cfg.capacity(),
+		cb:        newBreaker(cfg.breaker()),
+	}, nil
+}
+
+// Workers lists the fleet's current addresses, sorted.
 func (rt *Router) Workers() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	addrs := make([]string, 0, len(rt.workers))
 	for addr := range rt.workers {
 		addrs = append(addrs, addr)
@@ -217,21 +274,104 @@ func (rt *Router) Workers() []string {
 	return addrs
 }
 
-// candidates returns the stage's failover preference list: ring order from
-// the owner, healthy workers first (ring order preserved within each tier).
-// With the whole fleet marked down the raw ring order is returned — batches
-// still try the owner, so a flapping health check cannot wedge the router.
-func (rt *Router) candidates(stageKey string) []*worker {
+// AddWorker joins a worker to the running fleet: the consistent-hash ring
+// rebuilds with the new member (≈1/N of stages move to it; everything else
+// keeps its assignment), and subsequent batches route on the new ring.
+func (rt *Router) AddWorker(addr string) error {
+	if rt.closed.Load() {
+		return fmt.Errorf("cluster: router is closed")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.workers[addr]; ok {
+		return fmt.Errorf("cluster: worker %s is already in the fleet", addr)
+	}
+	addrs := make([]string, 0, len(rt.workers)+1)
+	for a := range rt.workers {
+		addrs = append(addrs, a)
+	}
+	addrs = append(addrs, addr)
+	rg, err := newRing(addrs)
+	if err != nil {
+		return err
+	}
+	w, err := newWorker(rt.cfg, rt.hc, rt.budget, addr)
+	if err != nil {
+		return err
+	}
+	rt.workers[addr] = w
+	rt.ring = rg
+	rt.rebalanceJoins.Add(1)
+	return nil
+}
+
+// RemoveWorker removes a worker from the running fleet. The ring rebuilds
+// without it immediately — its stages move to their ring successors and it
+// stops counting toward ring moves — while batches already dispatched to it
+// drain on the old assignment; its connections close once they finish. The
+// last worker cannot be removed.
+func (rt *Router) RemoveWorker(addr string) error {
+	rt.mu.Lock()
+	w, ok := rt.workers[addr]
+	if !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: worker %s is not in the fleet", addr)
+	}
+	if len(rt.workers) == 1 {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: cannot remove the last worker %s", addr)
+	}
+	delete(rt.workers, addr)
+	addrs := make([]string, 0, len(rt.workers))
+	for a := range rt.workers {
+		addrs = append(addrs, a)
+	}
+	rg, err := newRing(addrs)
+	if err != nil {
+		// Unreachable (non-empty, deduplicated by construction); restore.
+		rt.workers[addr] = w
+		rt.mu.Unlock()
+		return err
+	}
+	rt.ring = rg
+	rt.rebalanceLeaves.Add(1)
+	rt.mu.Unlock()
+
+	// Drain: in-flight batches hold their worker and finish on the old
+	// assignment; the remote closes only when the last one lands (or the
+	// router itself closes).
+	rt.drains.Add(1)
+	go func() {
+		defer rt.drains.Done()
+		for w.inflight.Load() > 0 && !rt.closed.Load() {
+			time.Sleep(5 * time.Millisecond)
+		}
+		_ = w.remote.Close()
+	}()
+	return nil
+}
+
+// candidates returns the stage's failover preference list — ring order from
+// the owner, admitted (circuit-closed) workers first, ring order preserved
+// within each tier — plus the owning address on the current ring. With the
+// whole fleet's circuits open the raw ring order is returned: batches still
+// try the owner, so a flapping fleet cannot wedge the router.
+func (rt *Router) candidates(stageKey string) (cands []*worker, owner string) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	var healthy, down []*worker
 	for _, addr := range rt.ring.ordered(stageKey) {
 		w := rt.workers[addr]
+		if w == nil {
+			continue // removed mid-iteration; ring and map swap atomically under mu
+		}
 		if w.isDown() {
 			down = append(down, w)
 		} else {
 			healthy = append(healthy, w)
 		}
 	}
-	return append(healthy, down...)
+	return append(healthy, down...), rt.ring.owner(stageKey)
 }
 
 // RunBatch routes the batch per the placement rules above.
@@ -243,9 +383,12 @@ func (rt *Router) RunBatch(ctx context.Context, spec backend.BatchSpec) (backend
 		return backend.BatchResult{}, fmt.Errorf("cluster: router is closed")
 	}
 
-	cands := rt.candidates(spec.StageKey)
+	cands, owner := rt.candidates(spec.StageKey)
+	if len(cands) == 0 {
+		return backend.BatchResult{}, fmt.Errorf("cluster: no workers in the fleet")
+	}
 	primary := cands[0]
-	if primary.addr != rt.ring.owner(spec.StageKey) {
+	if primary.addr != owner {
 		rt.ringMoves.Add(1)
 	}
 	targets := []*worker{primary}
@@ -347,21 +490,45 @@ func (rt *Router) RunBatch(ctx context.Context, spec backend.BatchSpec) (backend
 
 // runPart serves one part, failing over along the candidate list. first is
 // the load-balanced choice; on a transient failure the part walks the
-// remaining candidates in ring order. Deterministic worker rejections (4xx)
-// and the caller's own cancellation are final.
+// remaining candidates in ring order. A worker whose circuit breaker denies
+// admission is skipped while an admitted candidate remains (the breaker
+// itself meters half-open probes); with every circuit open the walk tries
+// workers anyway, so a fleet-wide brownout degrades instead of wedging.
+// Deterministic worker rejections (4xx) and the caller's own cancellation
+// are final.
 func (rt *Router) runPart(ctx context.Context, part backend.BatchSpec, first *worker, cands []*worker) (backend.BatchResult, error) {
-	tried := make(map[*worker]bool, len(cands))
-	var lastErr error
+	order := make([]*worker, 0, len(cands)+1)
+	seen := make(map[*worker]bool, len(cands)+1)
 	for _, w := range append([]*worker{first}, cands...) {
+		if !seen[w] {
+			seen[w] = true
+			order = append(order, w)
+		}
+	}
+	tried := make(map[*worker]bool, len(order))
+	anyClosed := func(from int) bool {
+		for _, w := range order[from:] {
+			if !tried[w] && !w.cb.isOpen() {
+				return true
+			}
+		}
+		return false
+	}
+	var lastErr error
+	for i, w := range order {
 		if tried[w] {
 			continue
 		}
+		// Breaker admission: allow() grants closed traffic and metered
+		// half-open probes; a denied worker is skipped only while a
+		// closed-circuit candidate remains untried.
+		if !w.cb.allow() && anyClosed(i+1) {
+			continue
+		}
 		tried[w] = true
-		w.inflight.Add(1)
-		res, err := w.remote.RunBatch(ctx, part)
-		w.inflight.Add(-1)
+		hedge := rt.hedgeTarget(order, tried, i+1)
+		res, err := rt.dispatch(ctx, part, w, hedge, tried)
 		if err == nil {
-			w.noteSuccess()
 			return res, nil
 		}
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -371,18 +538,184 @@ func (rt *Router) runPart(ctx context.Context, part backend.BatchSpec, first *wo
 		if errors.As(err, &re) && !re.Transient() {
 			return backend.BatchResult{}, err
 		}
-		// Connect errors and 5xx after the remote's own retries: mark the
-		// worker down immediately and fail over to the next ring node.
-		w.noteFailure(rt.cfg.markdownAfter(), rt.cfg.markdownAfter())
 		lastErr = err
 	}
-	return backend.BatchResult{}, fmt.Errorf("cluster: all %d workers failed for stage part: %w", len(cands), lastErr)
+	return backend.BatchResult{}, fmt.Errorf("cluster: all %d workers failed for stage part: %w", len(order), lastErr)
+}
+
+// hedgeTarget picks the hedge candidate for a dispatch: the first untried
+// worker from position from whose circuit is closed (a hedge is a latency
+// optimization — it never spends a half-open probe slot).
+func (rt *Router) hedgeTarget(order []*worker, tried map[*worker]bool, from int) *worker {
+	for _, w := range order[from:] {
+		if !tried[w] && !w.cb.isOpen() {
+			return w
+		}
+	}
+	return nil
+}
+
+// dispatch serves one part on primary, hedging to hedge if no answer lands
+// within the hedge delay. The first success wins and the loser is canceled;
+// only the winner's result is returned, so accounting never double-charges.
+// A hedge launched during the race marks its worker tried in the caller's
+// failover walk — its outcome (either way) already fed that worker's
+// breaker.
+func (rt *Router) dispatch(ctx context.Context, part backend.BatchSpec, primary, hedge *worker, tried map[*worker]bool) (backend.BatchResult, error) {
+	delay, ok := rt.hedgeDelay(ctx)
+	if hedge == nil || !ok {
+		return rt.send(ctx, part, primary)
+	}
+
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		res    backend.BatchResult
+		err    error
+		hedged bool
+	}
+	ch := make(chan outcome, 2)
+	go func() {
+		res, err := rt.send(dctx, part, primary)
+		ch <- outcome{res, err, false}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	launched := false
+	var firstFail *outcome
+	for {
+		select {
+		case o := <-ch:
+			if o.err == nil {
+				cancel()
+				if launched {
+					if o.hedged {
+						rt.hedgeWins.Add(1)
+					} else {
+						rt.hedgesCanceled.Add(1)
+					}
+				}
+				return o.res, nil
+			}
+			if !launched {
+				// Primary failed before the hedge would launch: hedging is
+				// for tail latency, failover handles failures.
+				return backend.BatchResult{}, o.err
+			}
+			if firstFail == nil {
+				firstFail = &o
+				continue // the race partner may still answer
+			}
+			// Both failed: surface the non-hedged error first (the hedge's
+			// failure is usually the same root cause one hop later).
+			if firstFail.hedged {
+				return backend.BatchResult{}, o.err
+			}
+			return backend.BatchResult{}, firstFail.err
+		case <-timer.C:
+			if launched {
+				continue
+			}
+			launched = true
+			tried[hedge] = true
+			rt.hedgesLaunched.Add(1)
+			go func() {
+				res, err := rt.send(dctx, part, hedge)
+				ch <- outcome{res, err, true}
+			}()
+		}
+	}
+}
+
+// hedgeDelay resolves the effective hedge delay for this dispatch, and
+// whether hedging applies at all: disabled by config, or suppressed when
+// the caller's remaining deadline could not outlive the hedge anyway.
+func (rt *Router) hedgeDelay(ctx context.Context) (time.Duration, bool) {
+	d := rt.cfg.HedgeAfter
+	if d < 0 {
+		return 0, false
+	}
+	if d == 0 {
+		if d = rt.latencyP99(); d == 0 {
+			d = defaultHedgeDelay
+		}
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return 0, false
+	}
+	return d, true
+}
+
+// send runs one part on one worker, feeding its circuit breaker: a success
+// closes/credits the circuit and lands in the latency reservoir; a
+// transient failure counts MarkdownAfter consecutive failures at once
+// (the remote already retried). The caller's own death is not the
+// worker's fault and is never charged to the breaker.
+func (rt *Router) send(ctx context.Context, part backend.BatchSpec, w *worker) (backend.BatchResult, error) {
+	w.inflight.Add(1)
+	start := time.Now()
+	res, err := w.remote.RunBatch(ctx, part)
+	w.inflight.Add(-1)
+	if err == nil {
+		rt.observeLatency(time.Since(start))
+		w.cb.record(false, 1)
+		return res, nil
+	}
+	if ctx.Err() == nil {
+		var re *backend.RemoteError
+		if transient := !errors.As(err, &re) || re.Transient(); transient {
+			w.cb.record(true, rt.cfg.markdownAfter())
+		}
+	}
+	return backend.BatchResult{}, err
+}
+
+// observeLatency folds one successful batch latency into the reservoir the
+// adaptive hedge delay derives its p99 from.
+func (rt *Router) observeLatency(d time.Duration) {
+	rt.latMu.Lock()
+	defer rt.latMu.Unlock()
+	if len(rt.lats) < latencyWindow {
+		rt.lats = append(rt.lats, d)
+		return
+	}
+	rt.lats[rt.latNext] = d
+	rt.latNext = (rt.latNext + 1) % latencyWindow
+}
+
+// latencyP99 reports the reservoir's p99 batch latency (0 with no samples).
+func (rt *Router) latencyP99() time.Duration {
+	rt.latMu.Lock()
+	defer rt.latMu.Unlock()
+	if len(rt.lats) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(rt.lats))
+	copy(sorted, rt.lats)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted)*99 + 99) / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// snapshotWorkers copies the live worker set for lock-free iteration.
+func (rt *Router) snapshotWorkers() []*worker {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	ws := make([]*worker, 0, len(rt.workers))
+	for _, w := range rt.workers {
+		ws = append(ws, w)
+	}
+	return ws
 }
 
 // healthLoop probes every worker each HealthInterval: a 200 from /healthz
-// marks it up (clearing any failure streak), anything else — including a
-// draining worker's 503 — counts toward MarkdownAfter. Marked-down workers
-// keep being probed and recover on the first healthy answer.
+// counts as a breaker success (closing an open circuit on recovery),
+// anything else — including a draining worker's 503 — counts one failure
+// toward the breaker's threshold. Open-circuit workers keep being probed;
+// the first healthy answer closes the circuit.
 func (rt *Router) healthLoop(hc *http.Client) {
 	defer rt.loopDone.Done()
 	ticker := time.NewTicker(rt.cfg.healthInterval())
@@ -393,13 +726,13 @@ func (rt *Router) healthLoop(hc *http.Client) {
 			return
 		case <-ticker.C:
 		}
-		for _, w := range rt.workers {
+		for _, w := range rt.snapshotWorkers() {
 			rt.probe(hc, w)
 		}
 	}
 }
 
-// probe performs one health check against w.
+// probe performs one health check against w, feeding its circuit breaker.
 func (rt *Router) probe(hc *http.Client, w *worker) {
 	// The health loop outlives any one batch; its probes are detached from
 	// request contexts by design.
@@ -408,20 +741,16 @@ func (rt *Router) probe(hc *http.Client, w *worker) {
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.healthURL, nil)
 	if err != nil {
-		w.noteFailure(1, rt.cfg.markdownAfter())
+		w.cb.record(true, 1)
 		return
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		w.noteFailure(1, rt.cfg.markdownAfter())
+		w.cb.record(true, 1)
 		return
 	}
 	resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		w.noteSuccess()
-	} else {
-		w.noteFailure(1, rt.cfg.markdownAfter())
-	}
+	w.cb.record(resp.StatusCode != http.StatusOK, 1)
 }
 
 // WorkerMetrics is one worker's routing accounting.
@@ -431,15 +760,18 @@ func (rt *Router) probe(hc *http.Client, w *worker) {
 //
 //llmqlint:accounting
 type WorkerMetrics struct {
-	// Batches/Retries/Errors are the worker's backend.RemoteStats; Markdowns
-	// counts up→down health transitions; InFlight is the live dispatched-
-	// batch gauge.
-	Batches   int64 `json:"batches"`
-	Retries   int64 `json:"retries"`
-	Errors    int64 `json:"errors"`
-	Markdowns int64 `json:"markdowns"`
-	InFlight  int64 `json:"inFlight"`
-	Down      bool  `json:"down"`
+	// Batches/Retries/Errors/BudgetDenied are the worker's
+	// backend.RemoteStats; Markdowns counts circuit-open transitions;
+	// InFlight is the live dispatched-batch gauge.
+	Batches      int64 `json:"batches"`
+	Retries      int64 `json:"retries"`
+	Errors       int64 `json:"errors"`
+	BudgetDenied int64 `json:"budgetDenied"`
+	Markdowns    int64 `json:"markdowns"`
+	InFlight     int64 `json:"inFlight"`
+	// Down reports a non-closed circuit; Breaker names the state exactly.
+	Down    bool         `json:"down"`
+	Breaker BreakerState `json:"breaker"`
 }
 
 // Metrics is the router's fleet accounting, folded into runtime.Metrics and
@@ -450,44 +782,67 @@ type WorkerMetrics struct {
 //
 //llmqlint:accounting
 type Metrics struct {
-	// Workers maps worker address to its counters.
+	// Workers maps worker address to its counters (current fleet members
+	// only; a removed worker's counters leave with it).
 	Workers map[string]WorkerMetrics `json:"workers"`
 	// RingMoves counts batches served off their ring owner (failover);
 	// HotReplications counts batches that added a replica target because
 	// the primary was saturated.
 	RingMoves       int64 `json:"ringMoves"`
 	HotReplications int64 `json:"hotReplications"`
+	// HedgesLaunched counts hedge dispatches; HedgeWins the races the hedge
+	// answered first; HedgesCanceled the races the primary won after the
+	// hedge launched. Wins + canceled ≤ launched (races whose winner was an
+	// error resolve as neither).
+	HedgesLaunched int64 `json:"hedgesLaunched"`
+	HedgeWins      int64 `json:"hedgeWins"`
+	HedgesCanceled int64 `json:"hedgesCanceled"`
+	// RebalanceJoins / RebalanceLeaves count live fleet membership changes.
+	RebalanceJoins  int64 `json:"rebalanceJoins"`
+	RebalanceLeaves int64 `json:"rebalanceLeaves"`
 }
 
 // Metrics snapshots the fleet counters.
 func (rt *Router) Metrics() Metrics {
+	rt.mu.RLock()
 	ws := make(map[string]WorkerMetrics, len(rt.workers))
 	for addr, w := range rt.workers {
 		rs := w.remote.Stats()
+		state, opens := w.cb.snapshot()
 		ws[addr] = WorkerMetrics{
-			Batches:   rs.Batches,
-			Retries:   rs.Retries,
-			Errors:    rs.Errors,
-			Markdowns: w.markdowns.Load(),
-			InFlight:  w.inflight.Load(),
-			Down:      w.isDown(),
+			Batches:      rs.Batches,
+			Retries:      rs.Retries,
+			Errors:       rs.Errors,
+			BudgetDenied: rs.BudgetDenied,
+			Markdowns:    opens,
+			InFlight:     w.inflight.Load(),
+			Down:         state != BreakerClosed,
+			Breaker:      state,
 		}
 	}
+	rt.mu.RUnlock()
 	return Metrics{
 		Workers:         ws,
 		RingMoves:       rt.ringMoves.Load(),
 		HotReplications: rt.hotReplications.Load(),
+		HedgesLaunched:  rt.hedgesLaunched.Load(),
+		HedgeWins:       rt.hedgeWins.Load(),
+		HedgesCanceled:  rt.hedgesCanceled.Load(),
+		RebalanceJoins:  rt.rebalanceJoins.Load(),
+		RebalanceLeaves: rt.rebalanceLeaves.Load(),
 	}
 }
 
-// Close stops the health loop and closes every worker connection. Worker
-// processes are not owned by the router and keep serving.
+// Close stops the health loop, waits for removed-worker drains, and closes
+// every worker connection. Worker processes are not owned by the router and
+// keep serving.
 func (rt *Router) Close() error {
 	rt.closed.Store(true)
 	rt.stopOnce.Do(func() { close(rt.stop) })
 	rt.loopDone.Wait()
+	rt.drains.Wait()
 	var firstErr error
-	for _, w := range rt.workers {
+	for _, w := range rt.snapshotWorkers() {
 		if err := w.remote.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}

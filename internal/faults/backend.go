@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend"
+)
+
+// Backend is the backend-seam fault decorator: every RunBatch is one
+// injector event keyed by the batch's stage key, so a spec can spike one
+// hot stage's latency while leaving the rest of the fleet clean. Corrupt
+// rules never fire here — there is no wire below the seam to corrupt.
+//
+// Crash latches the whole decorator: once tripped, every subsequent batch
+// fails with a permanent InjectedError, the backend-seam shape of a dead
+// process.
+type Backend struct {
+	inner backend.Backend
+	in    *Injector
+
+	crashed atomic.Bool
+}
+
+var _ backend.Backend = (*Backend)(nil)
+
+// NewBackend wraps inner with the injector's faults. A nil injector (or an
+// empty spec) is a passthrough.
+func NewBackend(inner backend.Backend, in *Injector) *Backend {
+	return &Backend{inner: inner, in: in}
+}
+
+// Unwrap exposes the decorated backend, so metrics folding that dispatches
+// on the serving backend's concrete type (runtime.Metrics) sees through a
+// chaos wrapper.
+func (b *Backend) Unwrap() backend.Backend { return b.inner }
+
+// RunBatch evaluates one fault decision for the batch, then serves it on
+// the inner backend (or doesn't).
+func (b *Backend) RunBatch(ctx context.Context, spec backend.BatchSpec) (backend.BatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return backend.BatchResult{}, err
+	}
+	if b.crashed.Load() {
+		return backend.BatchResult{}, &InjectedError{Kind: Crash}
+	}
+	if b.in != nil {
+		d := b.in.decide(backendKinds, spec.StageKey, "")
+		switch d.Kind {
+		case Latency:
+			if err := sleepCtx(ctx, d.Delay); err != nil {
+				return backend.BatchResult{}, err
+			}
+		case Err5xx, Conn:
+			return backend.BatchResult{}, &InjectedError{Kind: d.Kind}
+		case Hang:
+			if err := hangCtx(ctx, d.Delay); err != nil {
+				return backend.BatchResult{}, err
+			}
+			return backend.BatchResult{}, &InjectedError{Kind: Hang}
+		case Crash:
+			b.crashed.Store(true)
+			return backend.BatchResult{}, &InjectedError{Kind: Crash}
+		}
+	}
+	return b.inner.RunBatch(ctx, spec)
+}
+
+// Close closes the inner backend.
+func (b *Backend) Close() error { return b.inner.Close() }
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// hangCtx blocks until the context dies, or until the limit elapses when
+// the rule set one (so uncancellable chaos tests still terminate). It
+// returns the context's error if that is what ended the hang.
+func hangCtx(ctx context.Context, limit time.Duration) error {
+	if limit <= 0 {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	t := time.NewTimer(limit)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// RoundTripper is the client-side wire fault decorator: mounted on a
+// cluster router's http.Client it injects faults between the router and its
+// workers — synthesized 5xx answers, connect errors, truncated/corrupt
+// response bodies, latency, hangs, and per-worker crashes — without the
+// workers ever seeing the traffic the fault swallowed. Events are keyed by
+// the target host, so "worker=" selectors aim rules at one fleet member.
+type RoundTripper struct {
+	base http.RoundTripper
+	in   *Injector
+
+	mu      sync.Mutex
+	crashed map[string]bool // hosts latched dead; guarded by mu
+}
+
+var _ http.RoundTripper = (*RoundTripper)(nil)
+
+// NewRoundTripper wraps base (nil means http.DefaultTransport) with the
+// injector's faults.
+func NewRoundTripper(base http.RoundTripper, in *Injector) *RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &RoundTripper{base: base, in: in, crashed: make(map[string]bool)}
+}
+
+// RoundTrip evaluates one fault decision for the request's target host and
+// either forwards, delays, fails, or corrupts the exchange.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	rt.mu.Lock()
+	dead := rt.crashed[host]
+	rt.mu.Unlock()
+	if dead {
+		return nil, &InjectedError{Kind: Crash}
+	}
+	if rt.in == nil {
+		return rt.base.RoundTrip(req)
+	}
+	d := rt.in.decide(wireKinds, "", host)
+	switch d.Kind {
+	case Latency:
+		if err := sleepCtx(req.Context(), d.Delay); err != nil {
+			return nil, err
+		}
+	case Err5xx:
+		return synthesize5xx(req, d.Status), nil
+	case Conn:
+		return nil, &InjectedError{Kind: Conn}
+	case Hang:
+		if err := hangCtx(req.Context(), d.Delay); err != nil {
+			return nil, err
+		}
+		return nil, &InjectedError{Kind: Hang}
+	case Crash:
+		rt.mu.Lock()
+		rt.crashed[host] = true
+		rt.mu.Unlock()
+		return nil, &InjectedError{Kind: Crash}
+	case Corrupt:
+		resp, err := rt.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		return corruptResponse(resp), nil
+	}
+	return rt.base.RoundTrip(req)
+}
+
+// synthesize5xx fabricates a transient server error without touching the
+// network, shaped like the /v1 error envelope so clients exercise their
+// real decode path.
+func synthesize5xx(req *http.Request, status int) *http.Response {
+	body := `{"error":{"code":"unavailable","message":"faults: injected 5xx"}}`
+	return &http.Response{
+		StatusCode: status,
+		Status:     http.StatusText(status),
+		Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// corruptResponse truncates the real response body mid-JSON and flips its
+// first byte, modeling a connection that died mid-transfer or a worker that
+// answered garbage. Status and headers pass through untouched — the
+// corruption is only detectable by actually decoding the body, which is
+// exactly the failure mode retry paths must survive.
+func corruptResponse(resp *http.Response) *http.Response {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		data = nil
+	}
+	cut := data[:len(data)/2]
+	if len(cut) > 0 {
+		cut = append([]byte{}, cut...)
+		cut[0] ^= 0xFF
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(cut))
+	resp.ContentLength = int64(len(cut))
+	resp.Header.Del("Content-Length")
+	return resp
+}
+
+// Middleware is the server-side wire fault decorator for a worker's mux
+// (`llmqserve -worker -faults ...`): it injects 5xx answers, corrupt
+// bodies, latency, hangs, connection aborts, and latched crashes before the
+// real handler runs. A crashed worker aborts every connection — including
+// /healthz — so routers observe exactly what a killed process looks like.
+func Middleware(in *Injector, next http.Handler) http.Handler {
+	var mu sync.Mutex
+	var dead bool
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		isDead := dead
+		mu.Unlock()
+		if isDead {
+			panic(http.ErrAbortHandler)
+		}
+		if in == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		d := in.decide(wireKinds, "", "")
+		switch d.Kind {
+		case Latency:
+			if err := sleepCtx(r.Context(), d.Delay); err != nil {
+				panic(http.ErrAbortHandler)
+			}
+		case Err5xx:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(d.Status)
+			_, _ = w.Write([]byte(`{"error":{"code":"unavailable","message":"faults: injected 5xx"}}`))
+			return
+		case Conn:
+			panic(http.ErrAbortHandler)
+		case Corrupt:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"metrics":{"jct":`)) // truncated mid-JSON
+			return
+		case Hang:
+			if err := hangCtx(r.Context(), d.Delay); err != nil {
+				panic(http.ErrAbortHandler)
+			}
+			panic(http.ErrAbortHandler)
+		case Crash:
+			mu.Lock()
+			dead = true
+			mu.Unlock()
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

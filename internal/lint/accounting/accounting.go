@@ -50,6 +50,7 @@ var knownTypes = map[string]bool{
 	"repro/internal/backend.RemoteStats":      true,
 	"repro/internal/cluster.WorkerMetrics":    true,
 	"repro/internal/cluster.Metrics":          true,
+	"repro/internal/faults.Stats":             true,
 	"repro/internal/server.WorkerStats":       true,
 	"repro/internal/server.WorkerClientStats": true,
 	"repro/internal/query.StageResult":        true,

@@ -432,11 +432,11 @@ func (rt *Runtime) Metrics() Metrics {
 	if rt.prompts != nil {
 		m.PromptCacheHits, m.PromptCacheMisses = rt.prompts.Hits(), rt.prompts.Misses()
 	}
-	if sh, ok := rt.servingBackend().(*backend.Sharded); ok {
+	if sh, ok := unwrapBackend(rt.servingBackend()).(*backend.Sharded); ok {
 		s := sh.Stats()
 		m.ShardedBatches, m.ShardRuns, m.ShardJCTSeconds = s.ShardedBatches, s.ShardRuns, s.ShardJCTSeconds
 	}
-	if cr, ok := rt.servingBackend().(*cluster.Router); ok {
+	if cr, ok := unwrapBackend(rt.servingBackend()).(*cluster.Router); ok {
 		cm := cr.Metrics()
 		m.Cluster = &cm
 	}
@@ -528,6 +528,19 @@ func (rt *Runtime) servingBackend() backend.Backend {
 		return rt.cfg.Backend
 	}
 	return rt.cfg.Exec.Backend
+}
+
+// unwrapBackend strips decorator backends (e.g. a faults.Backend chaos
+// wrapper) so metrics folding that dispatches on the serving backend's
+// concrete type still finds it.
+func unwrapBackend(be backend.Backend) backend.Backend {
+	for {
+		u, ok := be.(interface{ Unwrap() backend.Backend })
+		if !ok {
+			return be
+		}
+		be = u.Unwrap()
+	}
 }
 
 // CachedResults reports the result cache's current entry count.

@@ -97,14 +97,30 @@ func renderPrometheus(m runtime.Metrics) string {
 			func(wm cluster.WorkerMetrics) float64 { return float64(wm.Errors) })
 		workerRows("llmq_cluster_worker_markdowns_total", "counter", "Health mark-down transitions per worker.",
 			func(wm cluster.WorkerMetrics) float64 { return float64(wm.Markdowns) })
+		workerRows("llmq_cluster_worker_budget_denied_total", "counter", "Batches failed fast per worker because the shared retry budget was empty.",
+			func(wm cluster.WorkerMetrics) float64 { return float64(wm.BudgetDenied) })
 		workerRows("llmq_cluster_worker_inflight", "gauge", "Batches currently dispatched per worker.",
 			func(wm cluster.WorkerMetrics) float64 { return float64(wm.InFlight) })
 		workerRows("llmq_cluster_worker_down", "gauge", "1 while the worker is marked down.",
 			func(wm cluster.WorkerMetrics) float64 { return boolGauge(wm.Down) })
+		workerRows("llmq_cluster_breaker_state", "gauge", "Worker circuit-breaker state: 0 closed, 1 half-open, 2 open.",
+			func(wm cluster.WorkerMetrics) float64 { return breakerGauge(wm.Breaker) })
+		workerRows("llmq_cluster_breaker_opens_total", "counter", "Circuit-open transitions per worker.",
+			func(wm cluster.WorkerMetrics) float64 { return float64(wm.Markdowns) })
 		w.family("llmq_cluster_ring_moves_total", "counter", "Batches served off their ring owner (failover).")
 		w.row("llmq_cluster_ring_moves_total", "", float64(c.RingMoves))
 		w.family("llmq_cluster_hot_replications_total", "counter", "Batches that replicated a hot stage onto a second worker.")
 		w.row("llmq_cluster_hot_replications_total", "", float64(c.HotReplications))
+		w.family("llmq_cluster_hedge_launched_total", "counter", "Hedged batch dispatches launched.")
+		w.row("llmq_cluster_hedge_launched_total", "", float64(c.HedgesLaunched))
+		w.family("llmq_cluster_hedge_wins_total", "counter", "Hedge races the hedge answered first.")
+		w.row("llmq_cluster_hedge_wins_total", "", float64(c.HedgeWins))
+		w.family("llmq_cluster_hedge_canceled_total", "counter", "Hedge races the primary won (hedge canceled).")
+		w.row("llmq_cluster_hedge_canceled_total", "", float64(c.HedgesCanceled))
+		w.family("llmq_cluster_rebalance_joins_total", "counter", "Workers joined to the live ring.")
+		w.row("llmq_cluster_rebalance_joins_total", "", float64(c.RebalanceJoins))
+		w.family("llmq_cluster_rebalance_leaves_total", "counter", "Workers removed from the live ring.")
+		w.row("llmq_cluster_rebalance_leaves_total", "", float64(c.RebalanceLeaves))
 	}
 
 	w.family("llmq_sharded_batches_total", "counter", "Batches split across engine replicas.")

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/llmsim"
 	"repro/internal/obs"
@@ -187,6 +188,11 @@ type Config struct {
 	// request: client, class, outcome code, queue wait, JCT, and model calls.
 	// A Worker logs its /v1/batch requests to the same logger.
 	AccessLog *slog.Logger
+	// Cluster, when non-nil, serves the GET/POST /v1/cluster/workers fleet
+	// admin endpoint: list the live worker set and join/remove workers on
+	// the running router (live ring rebalance). Without it that endpoint
+	// responds 503.
+	Cluster *cluster.Router
 }
 
 // New builds the stateless service mux (reorder/estimate/simulate only);
@@ -225,7 +231,70 @@ func NewWithConfig(cfg Config) http.Handler {
 	mux.HandleFunc("/v1/traces", func(w http.ResponseWriter, r *http.Request) {
 		handleTraces(cfg.Runtime, w, r)
 	})
+	mux.HandleFunc("/v1/cluster/workers", func(w http.ResponseWriter, r *http.Request) {
+		handleClusterWorkers(cfg, w, r)
+	})
 	return mux
+}
+
+// ClusterWorkersRequest is the POST /v1/cluster/workers body: one live
+// fleet-membership change on the running router.
+type ClusterWorkersRequest struct {
+	// Op is "add" or "remove".
+	Op string `json:"op"`
+	// Addr is the worker address ("host:port" or a full URL).
+	Addr string `json:"addr"`
+}
+
+// ClusterWorkersResponse answers both GET and POST with the resulting live
+// worker set.
+type ClusterWorkersResponse struct {
+	Workers []string `json:"workers"`
+}
+
+// handleClusterWorkers serves the fleet admin endpoint: GET lists the live
+// worker set; POST {"op":"add"|"remove","addr":...} rebalances the
+// consistent-hash ring on the running router — ~1/N of stages move, batches
+// in flight on a removed worker drain on their old assignment.
+func handleClusterWorkers(cfg Config, w http.ResponseWriter, r *http.Request) {
+	if cfg.Cluster == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+			fmt.Errorf("no cluster router attached; start llmqserve with -backend remote"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, ClusterWorkersResponse{Workers: cfg.Cluster.Workers()})
+	case http.MethodPost:
+		var req ClusterWorkersRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if req.Addr == "" {
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest,
+				fmt.Errorf("missing worker addr"))
+			return
+		}
+		var err error
+		switch req.Op {
+		case "add":
+			err = cfg.Cluster.AddWorker(req.Addr)
+		case "remove":
+			err = cfg.Cluster.RemoveWorker(req.Addr)
+		default:
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest,
+				fmt.Errorf("unknown op %q: want add or remove", req.Op))
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrCodeInvalidRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ClusterWorkersResponse{Workers: cfg.Cluster.Workers()})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, ErrCodeInvalidRequest,
+			fmt.Errorf("method %s not allowed", r.Method))
+	}
 }
 
 // SQLOptions is the execution-options envelope of a /v1/sql request — the

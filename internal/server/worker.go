@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cluster"
 )
 
 // Worker is a cluster worker's serving state: the local backend that
@@ -134,6 +135,9 @@ func handleBatch(cfg Config, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wk.Draining() {
+		// Retry-After steers a well-behaved client (backend.Remote honors it
+		// over its own backoff) past the drain window instead of hammering.
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
 			fmt.Errorf("worker is draining"))
 		return
@@ -242,4 +246,17 @@ func boolGauge(v bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// breakerGauge encodes a circuit-breaker state for the Prometheus gauge:
+// 0 closed, 1 half-open, 2 open.
+func breakerGauge(s cluster.BreakerState) float64 {
+	switch s {
+	case cluster.BreakerOpen:
+		return 2
+	case cluster.BreakerHalfOpen:
+		return 1
+	default:
+		return 0
+	}
 }
